@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file bench_util.hpp
+/// Shared console-table helpers for the experiment regenerators. Each bench
+/// binary prints the rows/series of one table or figure of the paper, plus
+/// the paper's reference values where applicable.
+
+namespace ppds::bench {
+
+/// Prints a horizontal rule sized to the preceding header.
+inline void rule(std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Prints a banner naming the experiment.
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints a one-line note (methodology caveats, substitutions).
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace ppds::bench

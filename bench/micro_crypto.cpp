@@ -1,0 +1,141 @@
+/// Micro-benchmarks of the cryptographic substrate (google-benchmark):
+/// SHA-256 throughput, PRG stream, DH-group exponentiation per MODP size,
+/// and end-to-end 1-out-of-2 / k-out-of-n oblivious transfers.
+
+#include <benchmark/benchmark.h>
+
+#include "ppds/crypto/group.hpp"
+#include "ppds/crypto/ot.hpp"
+#include "ppds/crypto/prg.hpp"
+#include "ppds/crypto/sha256.hpp"
+#include "ppds/net/party.hpp"
+
+namespace {
+
+using namespace ppds;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_PrgStream(benchmark::State& state) {
+  crypto::Digest seed{};
+  seed.fill(7);
+  crypto::Prg prg(seed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prg.next(static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PrgStream)->Arg(256)->Arg(4096);
+
+void BM_GroupExp(benchmark::State& state) {
+  const crypto::DhGroup group(
+      static_cast<crypto::GroupId>(state.range(0)));
+  Rng rng(1);
+  const mpz_class e = group.random_exponent(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.pow_g(e));
+  }
+}
+BENCHMARK(BM_GroupExp)
+    ->Arg(0)   // MODP-1024
+    ->Arg(1)   // MODP-1536
+    ->Arg(2);  // MODP-2048
+
+void BM_Ot1of2(benchmark::State& state) {
+  const crypto::DhGroup group(crypto::GroupId::kModp1024);
+  const Bytes m0(32, 1), m1(32, 2);
+  for (auto _ : state) {
+    auto outcome = net::run_two_party(
+        [&](net::Endpoint& ch) {
+          Rng rng(1);
+          crypto::NaorPinkasSender s(group, rng);
+          s.send_1of2(ch, m0, m1);
+          return 0;
+        },
+        [&](net::Endpoint& ch) {
+          Rng rng(2);
+          crypto::NaorPinkasReceiver r(group, rng);
+          return r.receive_1of2(ch, true, 32);
+        });
+    benchmark::DoNotOptimize(outcome.b);
+  }
+}
+BENCHMARK(BM_Ot1of2)->Unit(benchmark::kMillisecond);
+
+void BM_OtKofN(benchmark::State& state) {
+  const crypto::DhGroup group(crypto::GroupId::kModp1024);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  std::vector<Bytes> msgs(n, Bytes(8, 3));
+  std::vector<std::size_t> want(k);
+  for (std::size_t i = 0; i < k; ++i) want[i] = i;
+  for (auto _ : state) {
+    auto outcome = net::run_two_party(
+        [&](net::Endpoint& ch) {
+          Rng rng(1);
+          crypto::NaorPinkasSender s(group, rng);
+          s.send(ch, msgs, k);
+          return 0;
+        },
+        [&](net::Endpoint& ch) {
+          Rng rng(2);
+          crypto::NaorPinkasReceiver r(group, rng);
+          return r.receive(ch, want, n, 8);
+        });
+    benchmark::DoNotOptimize(outcome.b);
+  }
+  state.SetLabel(std::to_string(k) + "-of-" + std::to_string(n));
+}
+BENCHMARK(BM_OtKofN)
+    ->Args({10, 5})
+    ->Args({27, 9})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OtPrecomputedOnline(benchmark::State& state) {
+  // Online phase only: the argument for OT precomputation.
+  const crypto::DhGroup group(crypto::GroupId::kModp1024);
+  const Bytes m0(32, 1), m1(32, 2);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(1);
+        crypto::NaorPinkasSender np(group, rng);
+        return crypto::precompute_ot_sender(ch, np, 512, 32, rng);
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(2);
+        crypto::NaorPinkasReceiver np(group, rng);
+        return crypto::precompute_ot_receiver(ch, np, 512, 32, rng);
+      });
+  std::size_t slot = 0;
+  for (auto _ : state) {
+    if (slot >= outcome.a.size()) {
+      state.SkipWithError("precomputed slots exhausted");
+      break;
+    }
+    auto online = net::run_two_party(
+        [&](net::Endpoint& ch) {
+          crypto::precomputed_send_1of2(ch, outcome.a[slot], m0, m1);
+          return 0;
+        },
+        [&](net::Endpoint& ch) {
+          return crypto::precomputed_receive_1of2(ch, outcome.b[slot], true);
+        });
+    benchmark::DoNotOptimize(online.b);
+    ++slot;
+  }
+}
+// Fixed iteration count: each online transfer consumes one precomputed slot.
+BENCHMARK(BM_OtPrecomputedOnline)->Iterations(400)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+/// Micro-benchmarks of the OMPE protocol (google-benchmark): scaling in the
+/// input arity, the security parameter q, the cover blow-up k, and the two
+/// numeric backends. Loopback OT throughout — the public-key OT cost is
+/// characterized in micro_crypto and ablation_ot_engines.
+
+#include <benchmark/benchmark.h>
+
+#include "ppds/math/multipoly.hpp"
+#include "ppds/math/vec.hpp"
+#include "ppds/net/party.hpp"
+#include "ppds/ompe/ompe.hpp"
+
+namespace {
+
+using namespace ppds;
+
+double one_round(const math::MultiPoly& secret,
+                 const std::vector<double>& alpha,
+                 const ompe::OmpeParams& params, std::uint64_t seed) {
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(seed);
+        crypto::LoopbackSender ot;
+        ompe::run_sender(ch, secret, params, ot, rng);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(seed + 1);
+        crypto::LoopbackReceiver ot;
+        return ompe::run_receiver(ch, alpha, 1, secret.arity(), params, ot,
+                                  rng);
+      });
+  return outcome.b;
+}
+
+math::MultiPoly random_affine(std::size_t arity, Rng& rng) {
+  math::Vec w(arity);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+  return math::MultiPoly::affine(w, rng.uniform(-1, 1));
+}
+
+void BM_OmpeArity(benchmark::State& state) {
+  Rng rng(1);
+  const std::size_t arity = static_cast<std::size_t>(state.range(0));
+  const auto secret = random_affine(arity, rng);
+  std::vector<double> alpha(arity);
+  for (auto& v : alpha) v = rng.uniform(-1, 1);
+  ompe::OmpeParams params;
+  std::uint64_t seed = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_round(secret, alpha, params, seed++));
+  }
+}
+BENCHMARK(BM_OmpeArity)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OmpeSecurityQ(benchmark::State& state) {
+  Rng rng(2);
+  const auto secret = random_affine(16, rng);
+  std::vector<double> alpha(16);
+  for (auto& v : alpha) v = rng.uniform(-1, 1);
+  ompe::OmpeParams params;
+  params.q = static_cast<unsigned>(state.range(0));
+  std::uint64_t seed = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_round(secret, alpha, params, seed++));
+  }
+}
+BENCHMARK(BM_OmpeSecurityQ)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OmpeCoverK(benchmark::State& state) {
+  Rng rng(3);
+  const auto secret = random_affine(16, rng);
+  std::vector<double> alpha(16);
+  for (auto& v : alpha) v = rng.uniform(-1, 1);
+  ompe::OmpeParams params;
+  params.k = static_cast<unsigned>(state.range(0));
+  std::uint64_t seed = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_round(secret, alpha, params, seed++));
+  }
+}
+BENCHMARK(BM_OmpeCoverK)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OmpeBackend(benchmark::State& state) {
+  Rng rng(4);
+  const auto secret = random_affine(16, rng);
+  std::vector<double> alpha(16);
+  for (auto& v : alpha) v = rng.uniform(-1, 1);
+  ompe::OmpeParams params;
+  params.backend = state.range(0) == 0 ? ompe::Backend::kReal
+                                       : ompe::Backend::kField;
+  std::uint64_t seed = 3000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_round(secret, alpha, params, seed++));
+  }
+  state.SetLabel(state.range(0) == 0 ? "real(long double)"
+                                     : "field(Mersenne-61)");
+}
+BENCHMARK(BM_OmpeBackend)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

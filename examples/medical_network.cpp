@@ -1,0 +1,80 @@
+/// MEDICAL NETWORK SCENARIO — nonlinear private diagnosis across hospitals.
+///
+/// A hospital (Alice) has trained a NONLINEAR (polynomial-kernel) disease
+/// classifier on its patient records. A clinic (Bob) wants a second opinion
+/// on a patient without transmitting the patient's data, and the hospital
+/// will not export its model (a private asset derived from protected
+/// records). The nonlinear privacy-preserving classification scheme covers
+/// exactly this: the hospital's kernel decision function is expanded over
+/// monomials, the clinic transforms the patient vector locally, and an OMPE
+/// round plus k-out-of-M OT delivers only the diagnosis sign.
+///
+/// A second part demonstrates the exact-arithmetic (Mersenne-61) backend:
+/// diagnoses near the decision boundary classify identically to the plain
+/// model, with no floating-point hazard.
+
+#include <cstdio>
+
+#include "ppds/core/classification.hpp"
+#include "ppds/data/synthetic.hpp"
+#include "ppds/net/party.hpp"
+#include "ppds/svm/smo.hpp"
+
+int main() {
+  using namespace ppds;
+  std::printf("=== Private nonlinear diagnosis across a medical network ===\n");
+
+  // The hospital's records: the diabetes-analogue dataset (8 clinical
+  // features, nonlinear class structure).
+  const auto spec = *data::spec_by_name("diabetes");
+  auto [records, incoming_patients] = data::generate(spec);
+  const auto kernel = svm::Kernel::paper_polynomial(spec.dim);
+  const auto model = svm::train_svm(records, kernel, {spec.c_poly});
+  std::printf(
+      "hospital model: polynomial kernel p=%u over %zu features, %zu SVs\n",
+      kernel.degree, spec.dim, model.num_support_vectors());
+
+  const auto profile = core::ClassificationProfile::make(spec.dim, kernel);
+  std::printf("monomial expansion: %zu variates (degrees 1..%u)\n",
+              profile.poly_arity, profile.declared_degree);
+
+  // Exact arithmetic: the field backend guarantees the SIGN is computed
+  // exactly on the fixed-point grid — no borderline-diagnosis flips.
+  auto cfg = core::SchemeConfig::fast_simulation();
+  cfg.ompe.backend = ompe::Backend::kField;
+  cfg.ompe.frac_bits = 12;  // degree-3 headroom in F_{2^61-1}
+  cfg.ompe.q = 2;
+
+  core::ClassificationServer hospital(model, profile, cfg);
+  core::ClassificationClient clinic(profile, cfg);
+
+  const std::size_t patients = 12;
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(1);
+        hospital.serve(ch, patients, rng);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(2);
+        std::vector<int> diagnoses;
+        for (std::size_t i = 0; i < patients; ++i) {
+          diagnoses.push_back(clinic.classify(ch, incoming_patients.x[i], rng));
+        }
+        return diagnoses;
+      });
+
+  std::printf("\n%-10s | %-18s | %-18s | %s\n", "patient", "private verdict",
+              "plain-model check", "ground truth");
+  for (std::size_t i = 0; i < patients; ++i) {
+    const int plain = model.predict(incoming_patients.x[i]);
+    std::printf("%-10zu | %-18s | %-18s | %+d\n", i + 1,
+                outcome.b[i] > 0 ? "positive" : "negative",
+                outcome.b[i] == plain ? "agrees" : "DISAGREES",
+                incoming_patients.y[i]);
+  }
+  std::printf(
+      "\nwire per diagnosis: ~%llu KiB (monomial covers dominate)\n",
+      static_cast<unsigned long long>(outcome.b_sent.bytes / patients / 1024));
+  return 0;
+}

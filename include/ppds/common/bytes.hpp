@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ppds/common/error.hpp"
+
+/// \file bytes.hpp
+/// Little-endian wire serialization used by every protocol message.
+///
+/// The format is deliberately trivial: fixed-width little-endian integers,
+/// IEEE-754 doubles bit-cast to u64, and length-prefixed blobs. Both parties
+/// of a protocol run share the exact encoder/decoder, and the simulated
+/// network (ppds/net) counts these bytes to report communication cost.
+
+namespace ppds {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Length-prefixed blob.
+  void bytes(std::span<const std::uint8_t> data) {
+    u64(data.size());
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Raw append without a length prefix (caller knows the size).
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void f64_vec(std::span<const double> v) {
+    u64(v.size());
+    for (double x : v) f64(x);
+  }
+
+  void u64_vec(std::span<const std::uint64_t> v) {
+    u64(v.size());
+    for (std::uint64_t x : v) u64(x);
+  }
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes primitive values from a byte buffer; throws SerializationError on
+/// truncation so malformed protocol messages abort the session cleanly.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Bytes bytes() {
+    const std::uint64_t n = u64();
+    need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  Bytes raw(std::size_t n) {
+    need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  std::vector<double> f64_vec() {
+    const std::uint64_t n = u64();
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(f64());
+    return out;
+  }
+
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = u64();
+    std::vector<std::uint64_t> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(u64());
+    return out;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Throws unless the whole buffer was consumed — catches messages that are
+  /// longer than the receiver expects (a classic protocol-confusion bug).
+  void expect_end() const {
+    if (!exhausted()) throw SerializationError("trailing bytes in message");
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (pos_ + n > data_.size() || pos_ + n < pos_)
+      throw SerializationError("truncated message");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ppds

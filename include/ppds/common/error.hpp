@@ -1,0 +1,55 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Exception hierarchy for the ppds library.
+///
+/// All errors raised by ppds derive from ppds::Error so that callers can
+/// catch library failures with a single handler while still being able to
+/// distinguish protocol violations from plain usage errors.
+
+namespace ppds {
+
+/// Root of the ppds exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad dimension, empty input...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A two-party protocol received a malformed, truncated or out-of-order
+/// message. In a deployment this is the error an honest party raises before
+/// aborting the session.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// A cryptographic operation failed (bad group element, decryption integrity
+/// failure, ...).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error(what) {}
+};
+
+/// Deserialization of a wire message failed.
+class SerializationError : public ProtocolError {
+ public:
+  explicit SerializationError(const std::string& what) : ProtocolError(what) {}
+};
+
+namespace detail {
+/// Throws InvalidArgument with \p what when \p cond is false.
+inline void require(bool cond, const char* what) {
+  if (!cond) throw InvalidArgument(what);
+}
+}  // namespace detail
+
+}  // namespace ppds

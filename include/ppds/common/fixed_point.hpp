@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "ppds/common/error.hpp"
+
+/// \file fixed_point.hpp
+/// Signed fixed-point codec used by the exact (finite-field) OMPE backend.
+///
+/// Real inputs in the paper live in [-1, 1]; we embed them as integers
+/// round(x * 2^frac_bits). The field backend (ppds/field) then maps the
+/// integers into F_p with negative values represented as p - |v|.
+
+namespace ppds {
+
+/// Fixed-point parameters. frac_bits is the binary scale of ONE factor; a
+/// product of k encoded values carries scale k * frac_bits, which callers
+/// must track (the OMPE field backend does this per polynomial degree).
+struct FixedPoint {
+  unsigned frac_bits = 20;
+
+  std::int64_t scale() const { return std::int64_t{1} << frac_bits; }
+
+  /// Encodes a real to the nearest fixed-point integer.
+  std::int64_t encode(double x) const {
+    const double scaled = x * static_cast<double>(scale());
+    detail::require(std::abs(scaled) < 9.0e18, "fixed_point: overflow");
+    return static_cast<std::int64_t>(std::llround(scaled));
+  }
+
+  /// Decodes an integer carrying \p factors accumulated scales.
+  double decode(std::int64_t v, unsigned factors = 1) const {
+    return static_cast<double>(v) /
+           std::pow(2.0, static_cast<double>(frac_bits) * factors);
+  }
+};
+
+}  // namespace ppds

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ppds/common/error.hpp"
+
+/// \file hex.hpp
+/// Hex encoding for test vectors and debugging output.
+
+namespace ppds {
+
+/// Lower-case hex encoding of a byte span.
+inline std::string to_hex(std::span<const std::uint8_t> data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+/// Parses lower- or upper-case hex; throws InvalidArgument on bad input.
+inline std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  detail::require(hex.size() % 2 == 0, "from_hex: odd length");
+  auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+    throw InvalidArgument("from_hex: bad digit");
+  };
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace ppds

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <chrono>
+
+/// \file stopwatch.hpp
+/// Monotonic wall-clock timing for the benchmark harness.
+
+namespace ppds {
+
+/// Simple monotonic stopwatch; started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ppds

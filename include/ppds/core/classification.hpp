@@ -1,0 +1,119 @@
+#pragma once
+
+#include <vector>
+
+#include "ppds/core/config.hpp"
+#include "ppds/math/monomial.hpp"
+#include "ppds/net/channel.hpp"
+#include "ppds/svm/model.hpp"
+
+/// \file classification.hpp
+/// Privacy-preserving data classification (Section IV of the paper).
+///
+/// Alice (ClassificationServer) owns a trained SVM; Bob
+/// (ClassificationClient) owns unlabeled samples. Per query Bob learns only
+/// the randomized decision value ra * d(t̃) — hence the class sign — while
+/// Alice learns nothing about t̃ and Bob learns nothing about the model
+/// (Level 1), nor can colluding clients reconstruct it (Level 2, thanks to
+/// the fresh per-query amplifier ra > 0).
+///
+/// Public between the parties: feature dimension, kernel type and kernel
+/// hyperparameters (a0, b0, p / Taylor order), and the SchemeConfig. Secret:
+/// Alice's support vectors / coefficients / bias, Bob's sample.
+
+namespace ppds::core {
+
+/// The public protocol profile both parties derive from the kernel: how the
+/// decision function is represented as a polynomial.
+struct ClassificationProfile {
+  std::size_t input_dim = 0;       ///< n, Bob's feature count
+  std::size_t poly_arity = 0;      ///< r, variates of the OMPE polynomial
+  unsigned declared_degree = 1;    ///< p, drives m = p*q + 1
+  svm::Kernel kernel;              ///< public kernel hyperparameters
+  /// Monomial basis for kernels that need an input transform
+  /// (empty for the linear kernel: tau == t).
+  std::vector<math::Exponents> monomials;
+
+  /// Builds the profile both parties agree on. \p taylor_order is the
+  /// truncation degree for RBF/sigmoid kernels (ignored otherwise).
+  static ClassificationProfile make(std::size_t input_dim,
+                                    const svm::Kernel& kernel,
+                                    unsigned taylor_order = 4);
+
+  /// Bob's local transform t -> tau (identity for the linear kernel).
+  std::vector<double> transform(const std::vector<double>& sample) const;
+};
+
+/// Alice: serves private classification queries from her model.
+class ClassificationServer {
+ public:
+  /// \p model must use the same kernel the profile was built from.
+  ClassificationServer(svm::SvmModel model, ClassificationProfile profile,
+                       SchemeConfig config);
+
+  /// Serves \p count queries over the channel.
+  void serve(net::Endpoint& channel, std::size_t count, Rng& rng) const;
+
+ private:
+  svm::SvmModel model_;
+  ClassificationProfile profile_;
+  SchemeConfig config_;
+  /// Monomial-basis kernels (polynomial) expand to a LINEAR function of the
+  /// transformed variates tau: coefficients + constant, served through the
+  /// OMPE linear fast path. Other kernels keep the generic MultiPoly.
+  bool linear_in_tau_ = false;
+  std::vector<double> tau_coeffs_;
+  double tau_constant_ = 0.0;
+  math::MultiPoly poly_;
+};
+
+/// The coefficient form of the expansion for monomial-basis profiles:
+/// d(tau) = coeffs . tau + constant. Cheaper than a MultiPoly by a factor
+/// of the arity (325k variates for the a1a..a9a nonlinear runs).
+struct LinearExpansion {
+  std::vector<double> coeffs;
+  double constant = 0.0;
+};
+
+LinearExpansion expand_decision_coefficients(
+    const svm::SvmModel& model, const ClassificationProfile& profile);
+
+/// Bob: issues private classification queries.
+class ClassificationClient {
+ public:
+  ClassificationClient(ClassificationProfile profile, SchemeConfig config);
+
+  /// One query: returns the randomized decision value ra * d(t̃) (sign is
+  /// the class). The paper's Bob only ever uses the sign; the raw value is
+  /// exposed to let the attack evaluations show it is useless (Fig. 5).
+  double query_value(net::Endpoint& channel, const std::vector<double>& sample,
+                     Rng& rng) const;
+
+  /// One query, returning the class label in {+1, -1}.
+  int classify(net::Endpoint& channel, const std::vector<double>& sample,
+               Rng& rng) const;
+
+  /// Batch of queries against a server serving the same count. REQUIRED
+  /// form for OtEngine::kPrecomputed (the offline OT pool is sized and
+  /// exchanged once for the whole batch); equivalent to a loop of
+  /// query_value() for the other engines.
+  std::vector<double> query_values_batch(
+      net::Endpoint& channel, const std::vector<std::vector<double>>& samples,
+      Rng& rng) const;
+
+  /// Batch classify: signs of query_values_batch.
+  std::vector<int> classify_batch(
+      net::Endpoint& channel, const std::vector<std::vector<double>>& samples,
+      Rng& rng) const;
+
+ private:
+  ClassificationProfile profile_;
+  SchemeConfig config_;
+};
+
+/// Expands a trained model's decision function into the profile's polynomial
+/// basis (shared by the server and by tests).
+math::MultiPoly expand_decision_function(const svm::SvmModel& model,
+                                         const ClassificationProfile& profile);
+
+}  // namespace ppds::core

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "ppds/crypto/group.hpp"
+#include "ppds/crypto/ot.hpp"
+#include "ppds/ompe/ompe.hpp"
+
+/// \file config.hpp
+/// Shared configuration of the two privacy-preserving schemes: which OMPE
+/// backend, which OT engine, which security parameters. Both parties agree
+/// on a SchemeConfig out of band (it contains only public parameters).
+
+namespace ppds::core {
+
+/// Which OT instantiation carries the k-out-of-M transfer.
+enum class OtEngine {
+  kNaorPinkas,   ///< real public-key OT (DhGroup modexp)
+  kPrecomputed,  ///< Naor-Pinkas moved offline; online transfers are
+                 ///< hash+XOR only (the paper's precomputation remark)
+  kLoopback,     ///< trusted simulation, benchmark-only (no privacy!)
+};
+
+struct SchemeConfig {
+  ompe::OmpeParams ompe;
+  OtEngine ot_engine = OtEngine::kNaorPinkas;
+  crypto::GroupId group = crypto::GroupId::kModp1536;
+
+  /// Convenience presets.
+  static SchemeConfig secure_default() { return SchemeConfig{}; }
+
+  /// Fast preset for throughput experiments: loopback OT, smaller q/k.
+  static SchemeConfig fast_simulation() {
+    SchemeConfig cfg;
+    cfg.ot_engine = OtEngine::kLoopback;
+    cfg.ompe.q = 4;
+    cfg.ompe.k = 2;
+    return cfg;
+  }
+};
+
+/// Per-party OT engine bundle. The DhGroup is created lazily only for the
+/// Naor-Pinkas-based engines (it is the expensive part).
+///
+/// For OtEngine::kPrecomputed the caller must run the offline phase over
+/// the protocol channel before the first transfer: the SENDER side calls
+/// prepare_sender() while the receiver side concurrently calls
+/// prepare_receiver(), both with the same slot count (use
+/// SchemeConfig + ompe parameters to size it; see ot_slots_per_query()).
+class OtBundle {
+ public:
+  OtBundle(const SchemeConfig& cfg, Rng& rng);
+
+  /// Offline phase (no-op unless engine == kPrecomputed).
+  void prepare_sender(net::Endpoint& channel, std::size_t slots);
+  void prepare_receiver(net::Endpoint& channel, std::size_t slots);
+
+  crypto::OtSender& sender();
+  crypto::OtReceiver& receiver();
+
+ private:
+  SchemeConfig cfg_;
+  Rng* rng_ = nullptr;
+  std::unique_ptr<crypto::DhGroup> group_;
+  std::unique_ptr<crypto::OtSender> sender_;
+  std::unique_ptr<crypto::OtReceiver> receiver_;
+  std::unique_ptr<crypto::NaorPinkasSender> base_sender_;
+  std::unique_ptr<crypto::NaorPinkasReceiver> base_receiver_;
+};
+
+/// Precomputed-OT slots one OMPE evaluation consumes: the m-out-of-M
+/// transfer runs m 1-out-of-M rounds of ceil(log2 M) slot-backed key
+/// transfers each.
+std::size_t ot_slots_per_query(const ompe::OmpeParams& params,
+                               unsigned degree);
+
+}  // namespace ppds::core

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <gmpxx.h>
+
+#include <memory>
+#include <string>
+
+#include "ppds/common/bytes.hpp"
+#include "ppds/common/rng.hpp"
+#include "ppds/crypto/sha256.hpp"
+
+/// \file group.hpp
+/// Prime-order subgroup of Z_p^* used by the Naor-Pinkas oblivious transfer.
+///
+/// p is a safe prime (p = 2q + 1) from the standard MODP groups
+/// (RFC 2409 / RFC 3526); the generator g = 4 generates the order-q subgroup
+/// of quadratic residues. Exponents are sampled in [1, q). Elements are
+/// serialized as fixed-width big-endian byte strings so wire sizes are
+/// predictable and countable.
+
+namespace ppds::crypto {
+
+/// Named standard groups (trade security for benchmark speed explicitly).
+enum class GroupId {
+  kModp1024,  ///< RFC 2409 Oakley group 2 (benchmark-friendly)
+  kModp1536,  ///< RFC 3526 group 5 (default)
+  kModp2048,  ///< RFC 3526 group 14
+};
+
+/// Multiplicative group wrapper. Immutable after construction; cheap to
+/// share by const reference between both protocol parties.
+class DhGroup {
+ public:
+  explicit DhGroup(GroupId id = GroupId::kModp1536);
+
+  /// Modulus byte width (all serialized elements use exactly this width).
+  std::size_t element_bytes() const { return element_bytes_; }
+
+  /// g^e mod p.
+  mpz_class pow_g(const mpz_class& e) const;
+
+  /// b^e mod p.
+  mpz_class pow(const mpz_class& base, const mpz_class& e) const;
+
+  /// a*b mod p.
+  mpz_class mul(const mpz_class& a, const mpz_class& b) const;
+
+  /// a^{-1} mod p.
+  mpz_class invert(const mpz_class& a) const;
+
+  /// Uniform exponent in [1, q).
+  mpz_class random_exponent(Rng& rng) const;
+
+  /// Uniform group element g^r for secret r (used as the sender's "C").
+  mpz_class random_element(Rng& rng) const;
+
+  /// Fixed-width big-endian serialization.
+  Bytes serialize(const mpz_class& x) const;
+
+  /// Parses and validates: must be in [1, p). Throws CryptoError otherwise.
+  mpz_class deserialize(std::span<const std::uint8_t> data) const;
+
+  /// KDF: hashes a group element together with a domain-separation tag into
+  /// a 32-byte key.
+  Digest hash_to_key(const mpz_class& x, std::uint64_t tag) const;
+
+  const mpz_class& p() const { return p_; }
+  const mpz_class& q() const { return q_; }
+  const mpz_class& g() const { return g_; }
+
+ private:
+  mpz_class p_;  ///< safe prime
+  mpz_class q_;  ///< (p-1)/2, prime order of the QR subgroup
+  mpz_class g_;  ///< subgroup generator
+  std::size_t element_bytes_ = 0;
+};
+
+}  // namespace ppds::crypto

@@ -1,0 +1,209 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ppds/common/bytes.hpp"
+#include "ppds/common/rng.hpp"
+#include "ppds/crypto/group.hpp"
+#include "ppds/net/channel.hpp"
+
+/// \file ot.hpp
+/// The oblivious-transfer stack of Section III-B, bottom-up:
+///
+///   1-out-of-2  — Naor-Pinkas over a DH group (semi-honest).
+///   1-out-of-n  — bit-decomposition key construction: the sender draws
+///                 2*ceil(log2 n) pad keys, encrypts message i under the
+///                 hash of the keys selected by i's bits, and the parties
+///                 run log2(n) parallel 1-out-of-2 OTs on the keys.
+///   k-out-of-n  — k parallel 1-out-of-n instances (sufficient for the
+///                 honest-but-curious model the paper assumes).
+///
+/// All protocols speak over a net::Endpoint so every run has an exact,
+/// countable wire footprint. Two engines implement the same interface:
+///
+///   NaorPinkas* — the real cryptographic instantiation (GMP modexp).
+///   Loopback*   — a trusted-simulation engine that transfers the selected
+///                 messages directly. It provides NO privacy and exists so
+///                 large benches can isolate the algebraic OMPE cost from
+///                 public-key OT cost (the paper does not specify its OT
+///                 implementation; we report both regimes).
+
+namespace ppds::crypto {
+
+/// Sender half of a k-out-of-n OT engine.
+class OtSender {
+ public:
+  virtual ~OtSender() = default;
+
+  /// Transfers k of the n = messages.size() byte strings; which k is the
+  /// receiver's secret. All messages must have equal length.
+  virtual void send(net::Endpoint& channel,
+                    std::span<const Bytes> messages, std::size_t k) = 0;
+};
+
+/// Receiver half of a k-out-of-n OT engine.
+class OtReceiver {
+ public:
+  virtual ~OtReceiver() = default;
+
+  /// Retrieves messages at the (strictly increasing) \p indices out of n.
+  virtual std::vector<Bytes> receive(net::Endpoint& channel,
+                                     std::span<const std::size_t> indices,
+                                     std::size_t n,
+                                     std::size_t message_len) = 0;
+};
+
+/// --- Naor-Pinkas engine ----------------------------------------------------
+
+/// Cryptographic k-out-of-n OT sender. Shares a DhGroup with the receiver
+/// (public parameters).
+class NaorPinkasSender : public OtSender {
+ public:
+  NaorPinkasSender(const DhGroup& group, Rng& rng)
+      : group_(group), rng_(rng) {}
+
+  void send(net::Endpoint& channel, std::span<const Bytes> messages,
+            std::size_t k) override;
+
+  /// Single 1-out-of-2 OT (exposed for tests and OT precomputation).
+  void send_1of2(net::Endpoint& channel, const Bytes& m0, const Bytes& m1);
+
+ private:
+  void send_1ofn(net::Endpoint& channel, std::span<const Bytes> messages);
+
+  const DhGroup& group_;
+  Rng& rng_;
+};
+
+/// Cryptographic k-out-of-n OT receiver.
+class NaorPinkasReceiver : public OtReceiver {
+ public:
+  NaorPinkasReceiver(const DhGroup& group, Rng& rng)
+      : group_(group), rng_(rng) {}
+
+  std::vector<Bytes> receive(net::Endpoint& channel,
+                             std::span<const std::size_t> indices,
+                             std::size_t n, std::size_t message_len) override;
+
+  Bytes receive_1of2(net::Endpoint& channel, bool choice,
+                     std::size_t message_len);
+
+ private:
+  Bytes receive_1ofn(net::Endpoint& channel, std::size_t index, std::size_t n,
+                     std::size_t message_len);
+
+  const DhGroup& group_;
+  Rng& rng_;
+};
+
+/// --- Loopback (trusted simulation) engine ----------------------------------
+
+/// Benchmark-only sender: ships all n messages; the receiver-side object
+/// picks locally. Wire cost equals n * len (an upper bound on any real OT),
+/// privacy is NOT provided. Never use outside performance studies.
+class LoopbackSender : public OtSender {
+ public:
+  void send(net::Endpoint& channel, std::span<const Bytes> messages,
+            std::size_t k) override;
+};
+
+class LoopbackReceiver : public OtReceiver {
+ public:
+  std::vector<Bytes> receive(net::Endpoint& channel,
+                             std::span<const std::size_t> indices,
+                             std::size_t n, std::size_t message_len) override;
+};
+
+/// --- OT precomputation (Beaver) ---------------------------------------------
+///
+/// Runs the expensive public-key OTs offline on random pads with random
+/// choice bits; the online phase per 1-out-of-2 OT is two XORs and one bit
+/// of correction. This implements the paper's remark that the cost "can be
+/// further reduced by generating random polynomials before the scheme" in
+/// its OT analogue, and feeds the ablation bench.
+
+/// Offline artifact held by the sender: both random pads per slot.
+struct PrecomputedSendSlot {
+  Bytes r0, r1;
+};
+
+/// Offline artifact held by the receiver: its random choice and pad.
+struct PrecomputedRecvSlot {
+  bool choice = false;
+  Bytes pad;
+};
+
+/// Number of 1-out-of-2 key transfers a 1-out-of-n OT needs: ceil(log2 n)
+/// (0 when n == 1, where the single message is sent directly).
+std::size_t index_bits(std::size_t n);
+
+/// k-out-of-n OT engine whose public-key work has been moved OFFLINE: the
+/// constructor consumes a batch of precomputed random-pad 1-out-of-2 OTs
+/// (Beaver correction), and every online k-out-of-n transfer costs only
+/// hashing and XOR. Slots are consumed monotonically; running out throws
+/// ProtocolError (size the pool with slots_for()).
+class PrecomputedOtSender : public OtSender {
+ public:
+  /// Runs the offline phase NOW over \p channel (the receiver must run the
+  /// matching PrecomputedOtReceiver constructor concurrently).
+  PrecomputedOtSender(net::Endpoint& channel, NaorPinkasSender& base,
+                      std::size_t slots, Rng& rng);
+
+  void send(net::Endpoint& channel, std::span<const Bytes> messages,
+            std::size_t k) override;
+
+  /// Slots one k-out-of-n transfer will consume.
+  static std::size_t slots_for(std::size_t n, std::size_t k) {
+    return k * index_bits(n);
+  }
+
+  std::size_t remaining() const { return slots_.size() - next_; }
+
+ private:
+  void send_1ofn(net::Endpoint& channel, std::span<const Bytes> messages);
+
+  Rng& rng_;
+  std::vector<PrecomputedSendSlot> slots_;
+  std::size_t next_ = 0;
+};
+
+class PrecomputedOtReceiver : public OtReceiver {
+ public:
+  PrecomputedOtReceiver(net::Endpoint& channel, NaorPinkasReceiver& base,
+                        std::size_t slots, Rng& rng);
+
+  std::vector<Bytes> receive(net::Endpoint& channel,
+                             std::span<const std::size_t> indices,
+                             std::size_t n, std::size_t message_len) override;
+
+  std::size_t remaining() const { return slots_.size() - next_; }
+
+ private:
+  Bytes receive_1ofn(net::Endpoint& channel, std::size_t index, std::size_t n,
+                     std::size_t message_len);
+
+  std::vector<PrecomputedRecvSlot> slots_;
+  std::size_t next_ = 0;
+};
+
+/// Runs \p count offline 1-out-of-2 OTs of \p pad_len-byte random pads.
+/// Returns the sender-side slots; receiver-side slots come out of the
+/// matching call on the other thread.
+std::vector<PrecomputedSendSlot> precompute_ot_sender(
+    net::Endpoint& channel, NaorPinkasSender& sender, std::size_t count,
+    std::size_t pad_len, Rng& rng);
+
+std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
+    net::Endpoint& channel, NaorPinkasReceiver& receiver, std::size_t count,
+    std::size_t pad_len, Rng& rng);
+
+/// Online phase: consumes one precomputed slot per 1-out-of-2 transfer.
+void precomputed_send_1of2(net::Endpoint& channel,
+                           const PrecomputedSendSlot& slot, const Bytes& m0,
+                           const Bytes& m1);
+
+Bytes precomputed_receive_1of2(net::Endpoint& channel,
+                               const PrecomputedRecvSlot& slot, bool choice);
+
+}  // namespace ppds::crypto

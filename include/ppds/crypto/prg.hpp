@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ppds/common/bytes.hpp"
+#include "ppds/crypto/sha256.hpp"
+
+/// \file prg.hpp
+/// Hash-based pseudo-random generator (SHA-256 in counter mode).
+///
+/// Keyed by a 32-byte seed; produces an unbounded keystream. Used to
+/// (a) stretch OT pad keys to message length, and (b) derive the random
+/// masking/cover polynomial coefficients in deterministic protocol tests.
+
+namespace ppds::crypto {
+
+/// Counter-mode PRG over SHA-256: block_i = SHA256(seed || i).
+class Prg {
+ public:
+  explicit Prg(const Digest& seed) : seed_(seed) {}
+
+  /// Next \p n keystream bytes.
+  Bytes next(std::size_t n);
+
+  /// XORs the keystream into \p data in place (stream cipher use).
+  void xor_into(std::span<std::uint8_t> data);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+ private:
+  void refill();
+
+  Digest seed_;
+  std::uint64_t counter_ = 0;
+  Digest block_{};
+  std::size_t block_pos_ = sizeof(Digest);
+};
+
+/// One-shot pad: PRG(seed) XOR data (used by the OT encryptions).
+Bytes xor_pad(const Digest& seed, std::span<const std::uint8_t> data);
+
+}  // namespace ppds::crypto

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "ppds/common/bytes.hpp"
+
+/// \file sha256.hpp
+/// SHA-256 (FIPS 180-4), implemented from scratch.
+///
+/// Used as the key-derivation hash of the Naor-Pinkas OT, the PRG core, and
+/// the 1-out-of-n OT key combiner. Verified against NIST test vectors in
+/// tests/crypto/sha256_test.cpp.
+
+namespace ppds::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// reuse.
+  Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(std::span<const std::uint8_t> data);
+
+/// Hash of the concatenation of several byte strings, each length-prefixed
+/// (prevents ambiguity/extension games between fields).
+Digest sha256_tagged(std::span<const Bytes> parts);
+
+}  // namespace ppds::crypto

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "ppds/svm/dataset.hpp"
+
+/// \file kstest.hpp
+/// Two-sample Kolmogorov-Smirnov test — the reference similarity
+/// measurement of Table II. The paper runs the test per feature dimension
+/// and averages over dimensions; its reported magnitudes match the
+/// *normalized* statistic D * sqrt(n*m/(n+m)), so we expose both.
+
+namespace ppds::data {
+
+/// Raw two-sample KS statistic D = sup_x |F1(x) - F2(x)| for two 1-D samples.
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// D scaled by sqrt(n*m/(n+m)) (the asymptotic normalization whose scale
+/// matches the K-S column of Table II).
+double ks_statistic_normalized(std::vector<double> a, std::vector<double> b);
+
+/// Per-dimension KS between two datasets' feature marginals, averaged over
+/// dimensions — exactly the Table II procedure.
+struct KsComparison {
+  double average_d = 0.0;           ///< mean raw statistic over dimensions
+  double average_normalized = 0.0;  ///< mean normalized statistic
+  std::vector<double> per_dimension_d;
+};
+
+KsComparison ks_compare(const svm::Dataset& a, const svm::Dataset& b);
+
+}  // namespace ppds::data

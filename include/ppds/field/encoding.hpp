@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "ppds/common/fixed_point.hpp"
+#include "ppds/field/m61.hpp"
+
+/// \file encoding.hpp
+/// Fixed-point embedding of reals into F_{2^61-1} and back.
+///
+/// Scale bookkeeping: a value encoded with `frac_bits` fractional bits and
+/// then multiplied k times carries k*frac_bits of scale. decode() takes the
+/// accumulated factor count so the exact OMPE backend can recover reals
+/// after evaluating a degree-d polynomial.
+
+namespace ppds::field {
+
+/// Encodes one real as a field element.
+inline M61 encode(const FixedPoint& fp, double x) {
+  return M61::from_signed(fp.encode(x));
+}
+
+/// Decodes a field element that carries \p factors accumulated scales.
+inline double decode(const FixedPoint& fp, M61 v, unsigned factors = 1) {
+  return fp.decode(v.to_signed(), factors);
+}
+
+inline std::vector<M61> encode_vec(const FixedPoint& fp,
+                                   const std::vector<double>& xs) {
+  std::vector<M61> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(encode(fp, x));
+  return out;
+}
+
+/// Sign of the signed interpretation: -1, 0 or +1. The classification
+/// protocol only needs this bit of B(0).
+inline int sign_of(M61 v) {
+  const std::int64_t s = v.to_signed();
+  return (s > 0) - (s < 0);
+}
+
+}  // namespace ppds::field

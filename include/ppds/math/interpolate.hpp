@@ -1,0 +1,83 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ppds/common/error.hpp"
+
+/// \file interpolate.hpp
+/// Lagrange interpolation — the receiver's final OMPE step (Eq. 3 of the
+/// paper). The receiver holds m = deg+1 pairs (v_j, B(v_j)) and needs B(0).
+///
+/// Two flavours:
+///  * lagrange_at_zero: evaluates the interpolating polynomial at x = 0
+///    directly (numerically the stable choice; the protocol only ever needs
+///    B(0)).
+///  * lagrange_coefficients: reconstructs the full coefficient vector via
+///    Newton divided differences (used by tests to check that the masked
+///    coefficients really look random).
+///
+/// Both are templated so the exact field backend reuses them verbatim
+/// (division is multiplication by the modular inverse there).
+
+namespace ppds::math {
+
+/// Value at 0 of the unique degree-(n-1) interpolating polynomial through
+/// the given nodes. Nodes must be pairwise distinct.
+template <typename T>
+T lagrange_at_zero(std::span<const T> xs, std::span<const T> ys) {
+  detail::require(xs.size() == ys.size() && !xs.empty(),
+                  "lagrange_at_zero: bad inputs");
+  T acc{};
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    T num = ys[j];
+    T den{};
+    den = den + T{1};  // works for both doubles and field elements
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i == j) continue;
+      num = num * (T{} - xs[i]);
+      den = den * (xs[j] - xs[i]);
+    }
+    acc = acc + num / den;
+  }
+  return acc;
+}
+
+/// Full coefficient vector (ascending degree) of the interpolating
+/// polynomial, via Newton's divided differences expanded to the monomial
+/// basis.
+template <typename T>
+std::vector<T> lagrange_coefficients(std::span<const T> xs,
+                                     std::span<const T> ys) {
+  detail::require(xs.size() == ys.size() && !xs.empty(),
+                  "lagrange_coefficients: bad inputs");
+  const std::size_t n = xs.size();
+  // Divided-difference table (in place).
+  std::vector<T> dd(ys.begin(), ys.end());
+  for (std::size_t level = 1; level < n; ++level) {
+    for (std::size_t i = n - 1; i >= level; --i) {
+      dd[i] = (dd[i] - dd[i - 1]) / (xs[i] - xs[i - level]);
+      if (i == level) break;
+    }
+  }
+  // Expand Newton form to monomial coefficients.
+  std::vector<T> coeffs(n, T{});
+  std::vector<T> basis(n, T{});  // coefficients of prod_{k<i}(x - x_k)
+  basis[0] = T{1};
+  std::size_t basis_len = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < basis_len; ++k)
+      coeffs[k] = coeffs[k] + dd[i] * basis[k];
+    if (i + 1 < n) {
+      // basis *= (x - xs[i])
+      for (std::size_t k = basis_len; k-- > 0;) {
+        basis[k + 1] = basis[k + 1] + basis[k];
+        basis[k] = basis[k] * (T{} - xs[i]);
+      }
+      ++basis_len;
+    }
+  }
+  return coeffs;
+}
+
+}  // namespace ppds::math

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "ppds/common/error.hpp"
+
+/// \file linalg.hpp
+/// Small dense linear algebra: just enough for the attack evaluations
+/// (Fig. 5 least-squares model estimation, Fig. 6 exact reconstruction from
+/// distances) and the boundary-point solver.
+
+namespace ppds::math {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Throws InvalidArgument if A is (numerically) singular.
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Least-squares solution of A x ~= b via the normal equations
+/// (A^T A) x = A^T b. Adequate for the low-dimensional attack fits.
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace ppds::math

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppds/common/error.hpp"
+
+/// \file monomial.hpp
+/// Monomial machinery for the nonlinear classification scheme (Section IV-B).
+///
+/// A degree-p polynomial kernel turns the decision function into a
+/// polynomial over the n' = C(n+p-1, n-1) monomials of exact total degree p:
+///     tau_j = prod_i t_i^{k_i},   k_1 + ... + k_n = p.
+/// This header enumerates the exponent vectors in a canonical order
+/// (reverse-lexicographic), computes multinomial coefficients, and applies
+/// the "monomial transform" t -> tau that both Alice (to expand her decision
+/// function) and Bob (to expand his sample) perform locally.
+
+namespace ppds::math {
+
+/// Exponent vector of one monomial: exps[i] is the power of t_i.
+/// uint8_t keeps the materialized bases small — the a1a..a9a expansion has
+/// 325k monomials over 123 variables, and kernel degrees never exceed 255.
+using Exponents = std::vector<std::uint8_t>;
+
+/// All exponent vectors over \p n variables with total degree exactly \p p,
+/// in a deterministic canonical order shared by both protocol parties.
+std::vector<Exponents> monomials_of_degree(std::size_t n, unsigned p);
+
+/// Number of monomials of exact degree p over n variables: C(n+p-1, p).
+/// Throws InvalidArgument if the count does not fit in 64 bits.
+std::uint64_t monomial_count(std::size_t n, unsigned p);
+
+/// Multinomial coefficient p! / (k_1! ... k_n!), where sum(k_i) == p.
+double multinomial_coefficient(const Exponents& exps);
+
+/// Evaluates every monomial at the point \p t (the transform t -> tau).
+std::vector<double> monomial_transform(const std::vector<Exponents>& monomials,
+                                       const std::vector<double>& t);
+
+}  // namespace ppds::math

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ppds/common/error.hpp"
+#include "ppds/common/rng.hpp"
+
+/// \file poly.hpp
+/// Univariate polynomials over an arbitrary coefficient ring.
+///
+/// Two instantiations matter in ppds:
+///  * Poly<double> / Poly<long double> — the paper-faithful real backend
+///    (masking polynomial h(u), cover polynomials g_i(v)).
+///  * Poly<field::M61> — the exact fixed-point backend over F_{2^61-1}.
+
+namespace ppds::math {
+
+/// Dense univariate polynomial c[0] + c[1] x + ... + c[d] x^d.
+template <typename T>
+class Poly {
+ public:
+  Poly() = default;
+
+  /// Coefficients in ascending-degree order.
+  explicit Poly(std::vector<T> coeffs) : c_(std::move(coeffs)) {}
+
+  /// Number of stored coefficients minus one (no trailing-zero trimming:
+  /// masking polynomials keep their nominal degree even if a random leading
+  /// coefficient happens to be zero).
+  std::size_t degree() const { return c_.empty() ? 0 : c_.size() - 1; }
+
+  bool empty() const { return c_.empty(); }
+
+  const std::vector<T>& coeffs() const { return c_; }
+  std::vector<T>& coeffs() { return c_; }
+
+  /// Horner evaluation.
+  T operator()(const T& x) const {
+    if (c_.empty()) return T{};
+    T acc = c_.back();
+    for (std::size_t i = c_.size() - 1; i-- > 0;) {
+      acc = acc * x + c_[i];
+    }
+    return acc;
+  }
+
+  T constant_term() const { return c_.empty() ? T{} : c_.front(); }
+
+  Poly operator+(const Poly& other) const {
+    std::vector<T> out(std::max(c_.size(), other.c_.size()), T{});
+    for (std::size_t i = 0; i < c_.size(); ++i) out[i] = out[i] + c_[i];
+    for (std::size_t i = 0; i < other.c_.size(); ++i) out[i] = out[i] + other.c_[i];
+    return Poly(std::move(out));
+  }
+
+  Poly operator*(const T& s) const {
+    std::vector<T> out = c_;
+    for (T& v : out) v = v * s;
+    return Poly(std::move(out));
+  }
+
+ private:
+  std::vector<T> c_;
+};
+
+/// Random real polynomial of exact nominal degree \p degree with constant
+/// term \p constant: used both for the sender's masking polynomial h
+/// (constant 0) and the receiver's covers g_i (constant t̃_i). Coefficients
+/// are uniform in [-bound, bound] and bounded away from zero so the
+/// polynomial genuinely has the nominal degree.
+template <typename T>
+Poly<T> random_poly(Rng& rng, std::size_t degree, T constant, double bound = 1.0) {
+  std::vector<T> c(degree + 1);
+  c[0] = constant;
+  for (std::size_t i = 1; i <= degree; ++i) {
+    c[i] = static_cast<T>(rng.uniform_nonzero(-bound, bound));
+  }
+  return Poly<T>(std::move(c));
+}
+
+}  // namespace ppds::math

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+/// \file rootfind.hpp
+/// 1-D root finding on an interval; used by the nonlinear similarity scheme
+/// to locate boundary points of a kernel decision surface along the edges of
+/// the bounded data space (the nonlinear analogue of Eq. 5).
+
+namespace ppds::math {
+
+/// Finds a root of \p f in [lo, hi] by bisection, provided f(lo) and f(hi)
+/// have opposite signs. Returns nullopt when there is no sign change (the
+/// decision surface does not cross this edge).
+std::optional<double> bisect(const std::function<double(double)>& f, double lo,
+                             double hi, double tol = 1e-10,
+                             int max_iter = 200);
+
+}  // namespace ppds::math

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file taylor.hpp
+/// Taylor-series coefficients used to polynomialize the RBF and sigmoid
+/// kernels (Section IV-B of the paper). The paper truncates the infinite
+/// series at "a large number p"; we expose the truncation order so the
+/// approximation error can be studied (ablation bench).
+
+namespace ppds::math {
+
+/// Coefficients of exp(x) ~= sum_{i<=order} x^i / i!.
+std::vector<double> exp_taylor(std::size_t order);
+
+/// Coefficients of tanh(x) around 0 up to x^order (odd powers only; even
+/// entries are 0). Uses the Bernoulli-number expansion the paper cites:
+/// tanh(x) = sum B_{2i} 4^i (4^i - 1) / (2i)! x^{2i-1}. Valid for |x| < pi/2.
+std::vector<double> tanh_taylor(std::size_t order);
+
+/// Evaluates a Taylor polynomial (ascending coefficients) at x.
+double eval_taylor(const std::vector<double>& coeffs, double x);
+
+}  // namespace ppds::math

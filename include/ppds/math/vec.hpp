@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "ppds/common/error.hpp"
+
+/// \file vec.hpp
+/// Dense real vector helpers used across the SVM substrate and the
+/// similarity-evaluation geometry (centroids, cosine similarity).
+
+namespace ppds::math {
+
+using Vec = std::vector<double>;
+
+/// Dot product; both spans must have equal length.
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  detail::require(a.size() == b.size(), "dot: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Squared Euclidean norm.
+inline double norm2(std::span<const double> a) { return dot(a, a); }
+
+/// Euclidean norm.
+inline double norm(std::span<const double> a) { return std::sqrt(norm2(a)); }
+
+/// Squared Euclidean distance between two points.
+inline double dist2(std::span<const double> a, std::span<const double> b) {
+  detail::require(a.size() == b.size(), "dist2: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// y += alpha * x
+inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  detail::require(x.size() == y.size(), "axpy: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha
+inline void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+/// Cosine of the angle between two nonzero vectors, clamped to [-1, 1].
+inline double cosine_similarity(std::span<const double> a,
+                                std::span<const double> b) {
+  const double na = norm2(a), nb = norm2(b);
+  detail::require(na > 0.0 && nb > 0.0, "cosine_similarity: zero vector");
+  const double c = dot(a, b) / std::sqrt(na * nb);
+  return std::fmin(1.0, std::fmax(-1.0, c));
+}
+
+/// Component-wise mean of a set of points (all the same dimension).
+inline Vec mean_point(std::span<const Vec> points) {
+  detail::require(!points.empty(), "mean_point: empty set");
+  Vec m(points.front().size(), 0.0);
+  for (const Vec& p : points) {
+    detail::require(p.size() == m.size(), "mean_point: dimension mismatch");
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] += p[i];
+  }
+  for (double& v : m) v /= static_cast<double>(points.size());
+  return m;
+}
+
+}  // namespace ppds::math

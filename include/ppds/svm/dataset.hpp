@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppds/common/rng.hpp"
+#include "ppds/math/vec.hpp"
+
+/// \file dataset.hpp
+/// Labeled binary-classification datasets and the [-1, 1] feature scaling
+/// the paper applies ("all the data have been scaled to [-1, 1]").
+
+namespace ppds::svm {
+
+/// A labeled dataset: y[i] in {+1, -1}.
+struct Dataset {
+  std::vector<math::Vec> x;
+  std::vector<int> y;
+
+  std::size_t size() const { return x.size(); }
+  std::size_t dim() const { return x.empty() ? 0 : x.front().size(); }
+
+  /// Throws InvalidArgument unless shapes and labels are consistent.
+  void validate() const;
+
+  /// Appends one sample.
+  void push(math::Vec features, int label);
+};
+
+/// Deterministically shuffles and splits into (train, test) with
+/// \p train_fraction of the samples in train.
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double train_fraction, Rng& rng);
+
+/// Splits into \p parts nearly equal disjoint subsets (used by the Table II
+/// experiment: diabetes split into S1..S4).
+std::vector<Dataset> split_subsets(const Dataset& data, std::size_t parts,
+                                   Rng& rng);
+
+/// Per-feature affine map onto [-1, 1], fitted on one dataset (train) and
+/// applied to others (test) — matching LIBSVM's svm-scale behaviour.
+class FeatureScaler {
+ public:
+  /// Learns per-feature min/max. Constant features map to 0.
+  void fit(const Dataset& data);
+
+  math::Vec transform(const math::Vec& x) const;
+  Dataset transform(const Dataset& data) const;
+
+  bool fitted() const { return !lo_.empty(); }
+
+ private:
+  math::Vec lo_, hi_;
+};
+
+/// Reads a dataset in LIBSVM's sparse text format
+/// ("label index:value index:value ...", 1-based indices).
+Dataset read_libsvm(const std::string& path, std::size_t dim_hint = 0);
+
+/// Writes LIBSVM sparse text format.
+void write_libsvm(const std::string& path, const Dataset& data);
+
+/// Fraction of samples where prediction matches the label, in [0, 1].
+double accuracy(const std::vector<int>& predicted, const std::vector<int>& truth);
+
+}  // namespace ppds::svm

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "ppds/common/bytes.hpp"
+#include "ppds/math/vec.hpp"
+
+/// \file kernel.hpp
+/// SVM kernel functions (Section III-A.2 of the paper):
+///   linear      K(x,y) = x . y
+///   polynomial  K(x,y) = (a0 x . y + b0)^p
+///   rbf         K(x,y) = exp(-gamma ||x - y||^2)
+///   sigmoid     K(x,y) = tanh(a0 x . y + c0)
+///
+/// The paper's experiments use linear and polynomial (a0 = 1/n, b0 = 0,
+/// p = 3); RBF/sigmoid are supported end-to-end via Taylor truncation in the
+/// privacy-preserving path.
+
+namespace ppds::svm {
+
+enum class KernelType : std::uint8_t {
+  kLinear = 0,
+  kPolynomial = 1,
+  kRbf = 2,
+  kSigmoid = 3,
+};
+
+/// Kernel selection plus parameters. Value-semantic, serializable.
+struct Kernel {
+  KernelType type = KernelType::kLinear;
+  double a0 = 1.0;     ///< inner-product scale (polynomial, sigmoid)
+  double b0 = 0.0;     ///< additive offset (polynomial)
+  unsigned degree = 3; ///< polynomial degree p
+  double gamma = 1.0;  ///< RBF width
+  double c0 = 0.0;     ///< sigmoid offset
+
+  static Kernel linear() { return Kernel{}; }
+
+  /// The paper's default polynomial kernel: a0 = 1/n, b0 = 0, p = 3.
+  static Kernel paper_polynomial(std::size_t n_features, unsigned p = 3) {
+    Kernel k;
+    k.type = KernelType::kPolynomial;
+    k.a0 = 1.0 / static_cast<double>(n_features);
+    k.b0 = 0.0;
+    k.degree = p;
+    return k;
+  }
+
+  static Kernel rbf(double gamma_value) {
+    Kernel k;
+    k.type = KernelType::kRbf;
+    k.gamma = gamma_value;
+    return k;
+  }
+
+  static Kernel sigmoid(double a0_value, double c0_value) {
+    Kernel k;
+    k.type = KernelType::kSigmoid;
+    k.a0 = a0_value;
+    k.c0 = c0_value;
+    return k;
+  }
+
+  double operator()(std::span<const double> x, std::span<const double> y) const;
+
+  std::string name() const;
+
+  void serialize(ByteWriter& w) const;
+  static Kernel deserialize(ByteReader& r);
+
+  friend bool operator==(const Kernel& a, const Kernel& b) = default;
+};
+
+}  // namespace ppds::svm

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "ppds/common/bytes.hpp"
+#include "ppds/svm/kernel.hpp"
+
+/// \file model.hpp
+/// Trained SVM decision function d(t) = sum_s coeff_s K(x_s, t) + b, where
+/// coeff_s = alpha_s * y_s over the support vectors (Eq. 1 of the paper).
+/// This is the "trained model" whose privacy the paper protects: it is a
+/// party's private asset, never shipped in the clear during the protocols.
+
+namespace ppds::svm {
+
+/// Immutable trained binary classifier.
+class SvmModel {
+ public:
+  SvmModel() = default;
+
+  SvmModel(Kernel kernel, std::vector<math::Vec> support_vectors,
+           std::vector<double> coeffs, double bias);
+
+  /// Raw decision value d(t); the class is its sign.
+  double decision_value(std::span<const double> t) const;
+
+  /// sign(d(t)) as +1/-1 (0 maps to +1, an arbitrary but fixed convention).
+  int predict(std::span<const double> t) const;
+
+  std::vector<int> predict_all(const std::vector<math::Vec>& samples) const;
+
+  /// For a linear kernel, collapses the support-vector expansion to the
+  /// explicit hyperplane (w, b) — the form the similarity-evaluation scheme
+  /// needs. Throws InvalidArgument for nonlinear kernels.
+  math::Vec linear_weights() const;
+
+  const Kernel& kernel() const { return kernel_; }
+  const std::vector<math::Vec>& support_vectors() const { return sv_; }
+  const std::vector<double>& coefficients() const { return coeff_; }
+  double bias() const { return bias_; }
+  std::size_t dim() const { return sv_.empty() ? 0 : sv_.front().size(); }
+  std::size_t num_support_vectors() const { return sv_.size(); }
+
+  Bytes serialize() const;
+  static SvmModel deserialize(std::span<const std::uint8_t> data);
+
+ private:
+  Kernel kernel_;
+  std::vector<math::Vec> sv_;
+  std::vector<double> coeff_;  ///< alpha_s * y_s
+  double bias_ = 0.0;
+};
+
+}  // namespace ppds::svm

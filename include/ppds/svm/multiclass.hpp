@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "ppds/svm/smo.hpp"
+
+/// \file multiclass.hpp
+/// One-vs-one multiclass classification on top of the binary C-SVC.
+///
+/// The paper's schemes are binary (SVM sign); real deployments of its
+/// motivating applications (disease diagnosis, trend categories) need more
+/// classes. One-vs-one composes K(K-1)/2 binary models with majority
+/// voting — and because each binary decision is exactly the paper's
+/// protocol, the private variant (ppds/core/multiclass.hpp) inherits the
+/// privacy argument per pairwise query.
+
+namespace ppds::svm {
+
+/// Labeled dataset with arbitrary integer class labels.
+struct MulticlassDataset {
+  std::vector<math::Vec> x;
+  std::vector<int> y;
+
+  std::size_t size() const { return x.size(); }
+  std::size_t dim() const { return x.empty() ? 0 : x.front().size(); }
+
+  void push(math::Vec features, int label) {
+    x.push_back(std::move(features));
+    y.push_back(label);
+  }
+};
+
+/// One binary model of the one-vs-one decomposition: predicts +1 for
+/// `positive_label`, -1 for `negative_label`.
+struct PairwiseModel {
+  int positive_label = 0;
+  int negative_label = 0;
+  SvmModel model;
+};
+
+/// Trained one-vs-one multiclass classifier.
+class MulticlassModel {
+ public:
+  /// Trains K(K-1)/2 binary SVMs (same kernel and params for every pair).
+  static MulticlassModel train(const MulticlassDataset& data,
+                               const Kernel& kernel,
+                               const SmoParams& params = {});
+
+  /// Majority vote over the pairwise decisions; ties break toward the
+  /// smallest label (deterministic).
+  int predict(std::span<const double> t) const;
+
+  std::vector<int> predict_all(const std::vector<math::Vec>& samples) const;
+
+  const std::vector<PairwiseModel>& pairs() const { return pairs_; }
+  const std::vector<int>& labels() const { return labels_; }
+  std::size_t num_classes() const { return labels_.size(); }
+
+  /// Vote tally resolution shared with the private variant: given the
+  /// pairwise SIGNS in pairs() order, returns the winning label.
+  int resolve_votes(std::span<const int> pairwise_signs) const;
+
+ private:
+  std::vector<int> labels_;         ///< sorted distinct class labels
+  std::vector<PairwiseModel> pairs_;
+};
+
+}  // namespace ppds::svm

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+
+#include "ppds/svm/dataset.hpp"
+#include "ppds/svm/model.hpp"
+
+/// \file smo.hpp
+/// C-SVC training by Sequential Minimal Optimization.
+///
+/// This is the library's stand-in for LIBSVM [29] (not available offline):
+/// the same dual problem
+///     min  1/2 a^T Q a - e^T a,   0 <= a_i <= C,  y^T a = 0,
+///     Q_ij = y_i y_j K(x_i, x_j)
+/// solved with the maximal-violating-pair working-set selection using the
+/// second-order heuristic of Fan, Chen & Lin (the LIBSVM default), a bounded
+/// kernel-row cache, and the standard free-SV rule for the bias.
+///
+/// The downstream protocols consume only the resulting decision function, so
+/// any correct SMO implementation exercises the paper's code paths.
+
+namespace ppds::svm {
+
+/// Training hyperparameters.
+struct SmoParams {
+  double c = 1.0;              ///< box constraint C
+  double tolerance = 1e-3;     ///< KKT stopping tolerance
+  std::size_t max_iterations = 200000;
+  std::size_t cache_rows = 512;  ///< kernel rows kept in the LRU cache
+};
+
+/// Diagnostics from a training run.
+struct TrainStats {
+  std::size_t iterations = 0;
+  std::size_t support_vectors = 0;
+  bool converged = false;
+  double train_seconds = 0.0;
+};
+
+/// Trains a binary C-SVC. The dataset must be validated (+/-1 labels,
+/// rectangular features) and should be scaled to [-1, 1] first.
+SvmModel train_svm(const Dataset& data, const Kernel& kernel,
+                   const SmoParams& params = {}, TrainStats* stats = nullptr);
+
+}  // namespace ppds::svm

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+
+#include "ppds/svm/smo.hpp"
+
+/// \file validation.hpp
+/// k-fold cross-validation and box-constraint selection for the SVM
+/// substrate. The paper fixes its hyperparameters; these utilities exist so
+/// downstream users (and our dataset-calibration tooling) can pick a sane C
+/// the way LIBSVM users would (grid search over a CV estimate).
+
+namespace ppds::svm {
+
+/// Result of a k-fold cross-validation run.
+struct CvResult {
+  double mean_accuracy = 0.0;
+  double stddev = 0.0;
+  std::vector<double> fold_accuracies;
+};
+
+/// Shuffled k-fold cross-validation accuracy of (kernel, params) on `data`.
+/// Folds are as equal as possible; every sample is tested exactly once.
+CvResult cross_validate(const Dataset& data, const Kernel& kernel,
+                        const SmoParams& params, std::size_t folds, Rng& rng);
+
+/// Grid search: returns the candidate C with the best k-fold CV accuracy
+/// (ties break toward the smaller C — prefer the stronger regularizer).
+double select_c(const Dataset& data, const Kernel& kernel,
+                std::span<const double> candidates, std::size_t folds,
+                Rng& rng);
+
+}  // namespace ppds::svm

@@ -1,0 +1,56 @@
+#include "ppds/core/attacks.hpp"
+
+#include <cmath>
+
+#include "ppds/math/linalg.hpp"
+
+namespace ppds::core {
+
+namespace {
+
+ModelEstimate fit(const std::vector<math::Vec>& samples,
+                  const std::vector<double>& values, bool exact) {
+  detail::require(!samples.empty() && samples.size() == values.size(),
+                  "attack fit: bad inputs");
+  const std::size_t dim = samples.front().size();
+  const std::size_t unknowns = dim + 1;
+  detail::require(samples.size() >= unknowns,
+                  "attack fit: need at least dim+1 observations");
+  const std::size_t rows = exact ? unknowns : samples.size();
+  math::Matrix a(rows, unknowns);
+  std::vector<double> b(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    detail::require(samples[r].size() == dim, "attack fit: ragged samples");
+    for (std::size_t c = 0; c < dim; ++c) a(r, c) = samples[r][c];
+    a(r, dim) = 1.0;
+    b[r] = values[r];
+  }
+  const std::vector<double> solution =
+      exact ? math::solve(std::move(a), std::move(b))
+            : math::least_squares(a, b);
+  ModelEstimate estimate;
+  estimate.w.assign(solution.begin(), solution.begin() + static_cast<std::ptrdiff_t>(dim));
+  estimate.b = solution[dim];
+  return estimate;
+}
+
+}  // namespace
+
+ModelEstimate estimate_hyperplane(const std::vector<math::Vec>& samples,
+                                  const std::vector<double>& values) {
+  return fit(samples, values, /*exact=*/false);
+}
+
+ModelEstimate reconstruct_exact(const std::vector<math::Vec>& samples,
+                                const std::vector<double>& values) {
+  return fit(samples, values, /*exact=*/true);
+}
+
+double direction_error_degrees(const math::Vec& estimated,
+                               const math::Vec& truth) {
+  const double cos_angle =
+      std::abs(math::cosine_similarity(estimated, truth));
+  return std::acos(std::fmin(1.0, cos_angle)) * 180.0 / M_PI;
+}
+
+}  // namespace ppds::core

@@ -1,0 +1,59 @@
+#include "ppds/core/config.hpp"
+
+namespace ppds::core {
+
+OtBundle::OtBundle(const SchemeConfig& cfg, Rng& rng)
+    : cfg_(cfg), rng_(&rng) {
+  switch (cfg.ot_engine) {
+    case OtEngine::kNaorPinkas:
+      group_ = std::make_unique<crypto::DhGroup>(cfg.group);
+      sender_ = std::make_unique<crypto::NaorPinkasSender>(*group_, rng);
+      receiver_ = std::make_unique<crypto::NaorPinkasReceiver>(*group_, rng);
+      break;
+    case OtEngine::kPrecomputed:
+      // The engines are installed by prepare_sender()/prepare_receiver(),
+      // which need the protocol channel; only the base machinery exists now.
+      group_ = std::make_unique<crypto::DhGroup>(cfg.group);
+      base_sender_ = std::make_unique<crypto::NaorPinkasSender>(*group_, rng);
+      base_receiver_ =
+          std::make_unique<crypto::NaorPinkasReceiver>(*group_, rng);
+      break;
+    case OtEngine::kLoopback:
+      sender_ = std::make_unique<crypto::LoopbackSender>();
+      receiver_ = std::make_unique<crypto::LoopbackReceiver>();
+      break;
+  }
+}
+
+void OtBundle::prepare_sender(net::Endpoint& channel, std::size_t slots) {
+  if (cfg_.ot_engine != OtEngine::kPrecomputed) return;
+  sender_ = std::make_unique<crypto::PrecomputedOtSender>(
+      channel, *base_sender_, slots, *rng_);
+}
+
+void OtBundle::prepare_receiver(net::Endpoint& channel, std::size_t slots) {
+  if (cfg_.ot_engine != OtEngine::kPrecomputed) return;
+  receiver_ = std::make_unique<crypto::PrecomputedOtReceiver>(
+      channel, *base_receiver_, slots, *rng_);
+}
+
+crypto::OtSender& OtBundle::sender() {
+  detail::require(sender_ != nullptr,
+                  "OtBundle: precomputed engine needs prepare_sender()");
+  return *sender_;
+}
+
+crypto::OtReceiver& OtBundle::receiver() {
+  detail::require(receiver_ != nullptr,
+                  "OtBundle: precomputed engine needs prepare_receiver()");
+  return *receiver_;
+}
+
+std::size_t ot_slots_per_query(const ompe::OmpeParams& params,
+                               unsigned degree) {
+  const std::size_t m = params.m(degree);
+  const std::size_t big_m = params.big_m(degree);
+  return crypto::PrecomputedOtSender::slots_for(big_m, m);
+}
+
+}  // namespace ppds::core

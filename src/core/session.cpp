@@ -1,0 +1,188 @@
+#include "ppds/core/session.hpp"
+
+#include "ppds/common/hex.hpp"
+#include "ppds/crypto/sha256.hpp"
+
+namespace ppds::core {
+
+namespace {
+
+constexpr std::uint32_t kProtocolVersion = 1;
+constexpr std::uint8_t kMagic[4] = {'P', 'P', 'D', 'S'};
+
+}  // namespace
+
+crypto::Digest protocol_digest(const ClassificationProfile& profile,
+                               const SchemeConfig& config) {
+  ByteWriter w;
+  w.u32(kProtocolVersion);
+  w.u64(profile.input_dim);
+  w.u64(profile.poly_arity);
+  w.u32(profile.declared_degree);
+  profile.kernel.serialize(w);
+  // The monomial basis must match exactly: hash the exponent stream.
+  w.u64(profile.monomials.size());
+  for (const math::Exponents& exps : profile.monomials) {
+    w.raw(exps);
+  }
+  w.u8(static_cast<std::uint8_t>(config.ot_engine));
+  w.u8(static_cast<std::uint8_t>(config.group));
+  w.u8(static_cast<std::uint8_t>(config.ompe.backend));
+  w.u32(config.ompe.q);
+  w.u32(config.ompe.k);
+  w.u32(config.ompe.frac_bits);
+  w.f64(config.ompe.node_lo);
+  w.f64(config.ompe.node_hi);
+  return crypto::sha256(w.data());
+}
+
+void serve_session(const ClassificationServer& server,
+                   const ClassificationProfile& profile,
+                   const SchemeConfig& config, net::Endpoint& channel,
+                   Rng& rng, std::size_t max_queries) {
+  const crypto::Digest mine = protocol_digest(profile, config);
+
+  const Bytes hello = channel.recv();
+  ByteReader r(hello);
+  const Bytes magic = r.raw(4);
+  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw ProtocolError("session: bad magic");
+  }
+  const std::uint32_t version = r.u32();
+  const Bytes theirs = r.raw(mine.size());
+  const std::uint64_t count = r.u64();
+  r.expect_end();
+
+  const bool digests_match =
+      std::equal(theirs.begin(), theirs.end(), mine.begin());
+  const bool acceptable = version == kProtocolVersion && digests_match &&
+                          count >= 1 && count <= max_queries;
+
+  ByteWriter ack;
+  ack.u8(acceptable ? 1 : 0);
+  ack.raw(std::span<const std::uint8_t>(mine.data(), mine.size()));
+  channel.send(ack.take());
+
+  if (!acceptable) {
+    throw ProtocolError(
+        version != kProtocolVersion ? "session: protocol version mismatch"
+        : !digests_match            ? "session: parameter digest mismatch"
+                                    : "session: unacceptable query count");
+  }
+  server.serve(channel, count, rng);
+}
+
+std::vector<int> classify_session(
+    const ClassificationClient& client, const ClassificationProfile& profile,
+    const SchemeConfig& config, net::Endpoint& channel,
+    const std::vector<std::vector<double>>& samples, Rng& rng) {
+  detail::require(!samples.empty(), "session: no samples");
+  const crypto::Digest mine = protocol_digest(profile, config);
+
+  ByteWriter hello;
+  hello.raw(std::span<const std::uint8_t>(kMagic, 4));
+  hello.u32(kProtocolVersion);
+  hello.raw(std::span<const std::uint8_t>(mine.data(), mine.size()));
+  hello.u64(samples.size());
+  channel.send(hello.take());
+
+  const Bytes ack = channel.recv();
+  ByteReader r(ack);
+  const std::uint8_t status = r.u8();
+  const Bytes server_digest = r.raw(mine.size());
+  r.expect_end();
+  if (status != 1) {
+    throw ProtocolError("session: server denied the parameters (digest " +
+                        to_hex(server_digest).substr(0, 16) + "... vs ours " +
+                        to_hex(mine).substr(0, 16) + "...)");
+  }
+  return client.classify_batch(channel, samples, rng);
+}
+
+namespace {
+
+/// Shared hello/ack exchange on a precomputed digest. Returns normally only
+/// when both sides agreed.
+void handshake_server(net::Endpoint& channel, const crypto::Digest& mine) {
+  const Bytes hello = channel.recv();
+  ByteReader r(hello);
+  const Bytes magic = r.raw(4);
+  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw ProtocolError("session: bad magic");
+  }
+  const std::uint32_t version = r.u32();
+  const Bytes theirs = r.raw(mine.size());
+  r.expect_end();
+  const bool acceptable =
+      version == kProtocolVersion &&
+      std::equal(theirs.begin(), theirs.end(), mine.begin());
+  ByteWriter ack;
+  ack.u8(acceptable ? 1 : 0);
+  ack.raw(std::span<const std::uint8_t>(mine.data(), mine.size()));
+  channel.send(ack.take());
+  if (!acceptable) {
+    throw ProtocolError(version != kProtocolVersion
+                            ? "session: protocol version mismatch"
+                            : "session: parameter digest mismatch");
+  }
+}
+
+void handshake_client(net::Endpoint& channel, const crypto::Digest& mine) {
+  ByteWriter hello;
+  hello.raw(std::span<const std::uint8_t>(kMagic, 4));
+  hello.u32(kProtocolVersion);
+  hello.raw(std::span<const std::uint8_t>(mine.data(), mine.size()));
+  channel.send(hello.take());
+  const Bytes ack = channel.recv();
+  ByteReader r(ack);
+  const std::uint8_t status = r.u8();
+  const Bytes server_digest = r.raw(mine.size());
+  r.expect_end();
+  if (status != 1) {
+    throw ProtocolError("session: server denied the parameters (digest " +
+                        to_hex(server_digest).substr(0, 16) + "... vs ours " +
+                        to_hex(mine).substr(0, 16) + "...)");
+  }
+}
+
+}  // namespace
+
+crypto::Digest similarity_digest(const svm::Kernel& kernel,
+                                 const DataSpace& space,
+                                 const SchemeConfig& config) {
+  ByteWriter w;
+  w.u32(kProtocolVersion);
+  w.u8('S');  // domain separation from the classification digest
+  kernel.serialize(w);
+  w.f64(space.lo);
+  w.f64(space.hi);
+  w.f64(space.l0);
+  w.f64(space.theta0);
+  w.u8(static_cast<std::uint8_t>(config.ot_engine));
+  w.u8(static_cast<std::uint8_t>(config.group));
+  w.u32(config.ompe.q);
+  w.u32(config.ompe.k);
+  w.f64(config.ompe.node_lo);
+  w.f64(config.ompe.node_hi);
+  return crypto::sha256(w.data());
+}
+
+void serve_similarity_session(const SimilarityServer& server,
+                              const svm::Kernel& kernel,
+                              const DataSpace& space,
+                              const SchemeConfig& config,
+                              net::Endpoint& channel, Rng& rng) {
+  handshake_server(channel, similarity_digest(kernel, space, config));
+  server.serve(channel, rng);
+}
+
+double evaluate_similarity_session(const SimilarityClient& client,
+                                   const svm::Kernel& kernel,
+                                   const DataSpace& space,
+                                   const SchemeConfig& config,
+                                   net::Endpoint& channel, Rng& rng) {
+  handshake_client(channel, similarity_digest(kernel, space, config));
+  return client.evaluate(channel, rng);
+}
+
+}  // namespace ppds::core

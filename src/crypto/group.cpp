@@ -1,0 +1,140 @@
+#include "ppds/crypto/group.hpp"
+
+#include "ppds/common/error.hpp"
+
+namespace ppds::crypto {
+
+namespace {
+
+// RFC 2409, Second Oakley Group (1024-bit MODP).
+const char* kModp1024Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381"
+    "FFFFFFFFFFFFFFFF";
+
+// RFC 3526, Group 5 (1536-bit MODP).
+const char* kModp1536Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF";
+
+// RFC 3526, Group 14 (2048-bit MODP).
+const char* kModp2048Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+const char* hex_for(GroupId id) {
+  switch (id) {
+    case GroupId::kModp1024:
+      return kModp1024Hex;
+    case GroupId::kModp1536:
+      return kModp1536Hex;
+    case GroupId::kModp2048:
+      return kModp2048Hex;
+  }
+  throw InvalidArgument("unknown GroupId");
+}
+
+}  // namespace
+
+DhGroup::DhGroup(GroupId id) {
+  p_ = mpz_class(hex_for(id), 16);
+  q_ = (p_ - 1) / 2;
+  g_ = 4;  // 2^2 is a quadratic residue, hence generates the order-q subgroup
+  element_bytes_ = (mpz_sizeinbase(p_.get_mpz_t(), 2) + 7) / 8;
+}
+
+mpz_class DhGroup::pow_g(const mpz_class& e) const { return pow(g_, e); }
+
+mpz_class DhGroup::pow(const mpz_class& base, const mpz_class& e) const {
+  mpz_class out;
+  mpz_powm(out.get_mpz_t(), base.get_mpz_t(), e.get_mpz_t(), p_.get_mpz_t());
+  return out;
+}
+
+mpz_class DhGroup::mul(const mpz_class& a, const mpz_class& b) const {
+  mpz_class out = a * b;
+  out %= p_;
+  return out;
+}
+
+mpz_class DhGroup::invert(const mpz_class& a) const {
+  mpz_class out;
+  if (mpz_invert(out.get_mpz_t(), a.get_mpz_t(), p_.get_mpz_t()) == 0) {
+    throw CryptoError("DhGroup: non-invertible element");
+  }
+  return out;
+}
+
+mpz_class DhGroup::random_exponent(Rng& rng) const {
+  // Rejection-sample a uniform value below q from 64-bit words.
+  const std::size_t bits = mpz_sizeinbase(q_.get_mpz_t(), 2);
+  const std::size_t words = (bits + 63) / 64;
+  for (;;) {
+    mpz_class candidate = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+      const std::uint64_t word = rng();
+      candidate <<= 32;
+      candidate += static_cast<unsigned long>(word >> 32);
+      candidate <<= 32;
+      candidate += static_cast<unsigned long>(word & 0xffffffffULL);
+    }
+    candidate %= (mpz_class(1) << bits);
+    if (candidate >= 1 && candidate < q_) return candidate;
+  }
+}
+
+mpz_class DhGroup::random_element(Rng& rng) const {
+  return pow_g(random_exponent(rng));
+}
+
+Bytes DhGroup::serialize(const mpz_class& x) const {
+  Bytes out(element_bytes_, 0);
+  if (x == 0) return out;
+  const std::size_t needed = (mpz_sizeinbase(x.get_mpz_t(), 2) + 7) / 8;
+  detail::require(needed <= element_bytes_, "DhGroup: element too large");
+  std::size_t count = 0;
+  // Big-endian, right-aligned into the fixed-width buffer.
+  mpz_export(out.data() + (element_bytes_ - needed), &count, 1, 1, 1, 0,
+             x.get_mpz_t());
+  return out;
+}
+
+mpz_class DhGroup::deserialize(std::span<const std::uint8_t> data) const {
+  if (data.size() != element_bytes_) {
+    throw CryptoError("DhGroup: bad element length");
+  }
+  mpz_class x;
+  mpz_import(x.get_mpz_t(), data.size(), 1, 1, 1, 0, data.data());
+  if (x < 1 || x >= p_) throw CryptoError("DhGroup: element out of range");
+  return x;
+}
+
+Digest DhGroup::hash_to_key(const mpz_class& x, std::uint64_t tag) const {
+  Sha256 h;
+  const Bytes elem = serialize(x);
+  h.update(elem);
+  std::uint8_t tag_bytes[8];
+  for (int i = 0; i < 8; ++i) tag_bytes[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  h.update(std::span<const std::uint8_t>(tag_bytes, 8));
+  return h.finish();
+}
+
+}  // namespace ppds::crypto

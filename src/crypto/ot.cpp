@@ -1,0 +1,378 @@
+#include "ppds/crypto/ot.hpp"
+
+#include <algorithm>
+
+#include "ppds/common/error.hpp"
+#include "ppds/crypto/prg.hpp"
+
+namespace ppds::crypto {
+
+namespace {
+
+std::size_t bits_for(std::size_t n) {
+  std::size_t bits = 0;
+  std::size_t v = n - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return std::max<std::size_t>(bits, 1);
+}
+
+void check_equal_lengths(std::span<const Bytes> messages) {
+  detail::require(!messages.empty(), "ot: no messages");
+  const std::size_t len = messages.front().size();
+  for (const Bytes& m : messages) {
+    detail::require(m.size() == len, "ot: unequal message lengths");
+  }
+}
+
+}  // namespace
+
+/// --- Naor-Pinkas 1-out-of-2 --------------------------------------------------
+///
+/// Sender:   C random element --> receiver
+/// Receiver: secret x; PK_choice = g^x, PK_other = C * PK_choice^{-1};
+///           sends PK_0.
+/// Sender:   PK_1 = C * PK_0^{-1}; random r; sends g^r,
+///           E_b = m_b XOR PRG(H(PK_b^r, b)).
+/// Receiver: key = (g^r)^x decrypts E_choice.
+
+void NaorPinkasSender::send_1of2(net::Endpoint& channel, const Bytes& m0,
+                                 const Bytes& m1) {
+  detail::require(m0.size() == m1.size(), "ot_1of2: unequal message lengths");
+  const mpz_class c = group_.random_element(rng_);
+  channel.send(group_.serialize(c));
+
+  const Bytes pk0_bytes = channel.recv();
+  const mpz_class pk0 = group_.deserialize(pk0_bytes);
+  const mpz_class pk1 = group_.mul(c, group_.invert(pk0));
+
+  const mpz_class r = group_.random_exponent(rng_);
+  ByteWriter w;
+  w.raw(group_.serialize(group_.pow_g(r)));
+  w.raw(xor_pad(group_.hash_to_key(group_.pow(pk0, r), 0), m0));
+  w.raw(xor_pad(group_.hash_to_key(group_.pow(pk1, r), 1), m1));
+  channel.send(w.take());
+}
+
+Bytes NaorPinkasReceiver::receive_1of2(net::Endpoint& channel, bool choice,
+                                       std::size_t message_len) {
+  const mpz_class c = group_.deserialize(channel.recv());
+
+  const mpz_class x = group_.random_exponent(rng_);
+  const mpz_class pk_choice = group_.pow_g(x);
+  const mpz_class pk_other = group_.mul(c, group_.invert(pk_choice));
+  channel.send(group_.serialize(choice ? pk_other : pk_choice));
+
+  const Bytes reply = channel.recv();
+  ByteReader rd(reply);
+  const mpz_class gr = group_.deserialize(rd.raw(group_.element_bytes()));
+  const Bytes e0 = rd.raw(message_len);
+  const Bytes e1 = rd.raw(message_len);
+  rd.expect_end();
+
+  const Digest key =
+      group_.hash_to_key(group_.pow(gr, x), choice ? 1 : 0);
+  return xor_pad(key, choice ? e1 : e0);
+}
+
+/// --- Naor-Pinkas 1-out-of-n ---------------------------------------------------
+///
+/// Sender draws pad keys K_{j,0}, K_{j,1} for each index bit j, encrypts
+/// message i under SHA256(K_{1,i_1} || ... || K_{l,i_l} || i), ships all n
+/// ciphertexts, then the parties run l = ceil(log2 n) 1-out-of-2 OTs on the
+/// keys (Naor-Pinkas construction).
+
+void NaorPinkasSender::send_1ofn(net::Endpoint& channel,
+                                 std::span<const Bytes> messages) {
+  check_equal_lengths(messages);
+  const std::size_t n = messages.size();
+  if (n == 1) {
+    channel.send(messages.front());
+    return;
+  }
+  const std::size_t nbits = bits_for(n);
+
+  std::vector<std::array<Bytes, 2>> keys(nbits);
+  for (auto& pair : keys) {
+    for (int side = 0; side < 2; ++side) {
+      Bytes& key = pair[side];
+      key.resize(32);
+      for (auto& byte : key) byte = static_cast<std::uint8_t>(rng_());
+    }
+  }
+
+  ByteWriter w;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Bytes> parts;
+    parts.reserve(nbits + 1);
+    for (std::size_t j = 0; j < nbits; ++j) {
+      parts.push_back(keys[j][(i >> j) & 1]);
+    }
+    Bytes idx(8);
+    for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(i >> (8 * b));
+    parts.push_back(idx);
+    w.raw(xor_pad(sha256_tagged(parts), messages[i]));
+  }
+  channel.send(w.take());
+
+  for (std::size_t j = 0; j < nbits; ++j) {
+    send_1of2(channel, keys[j][0], keys[j][1]);
+  }
+}
+
+Bytes NaorPinkasReceiver::receive_1ofn(net::Endpoint& channel,
+                                       std::size_t index, std::size_t n,
+                                       std::size_t message_len) {
+  detail::require(index < n, "ot_1ofn: index out of range");
+  if (n == 1) return channel.recv();
+  const std::size_t nbits = bits_for(n);
+
+  const Bytes ciphertexts = channel.recv();
+  detail::require(ciphertexts.size() == n * message_len,
+                  "ot_1ofn: bad ciphertext bundle");
+
+  std::vector<Bytes> parts;
+  parts.reserve(nbits + 1);
+  for (std::size_t j = 0; j < nbits; ++j) {
+    parts.push_back(receive_1of2(channel, ((index >> j) & 1) != 0, 32));
+  }
+  Bytes idx(8);
+  for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(index >> (8 * b));
+  parts.push_back(idx);
+
+  Bytes cipher(ciphertexts.begin() + static_cast<std::ptrdiff_t>(index * message_len),
+               ciphertexts.begin() + static_cast<std::ptrdiff_t>((index + 1) * message_len));
+  return xor_pad(sha256_tagged(parts), cipher);
+}
+
+/// --- k-out-of-n on top --------------------------------------------------------
+
+void NaorPinkasSender::send(net::Endpoint& channel,
+                            std::span<const Bytes> messages, std::size_t k) {
+  check_equal_lengths(messages);
+  detail::require(k >= 1 && k <= messages.size(), "ot: bad k");
+  for (std::size_t i = 0; i < k; ++i) {
+    send_1ofn(channel, messages);
+  }
+}
+
+std::vector<Bytes> NaorPinkasReceiver::receive(
+    net::Endpoint& channel, std::span<const std::size_t> indices,
+    std::size_t n, std::size_t message_len) {
+  detail::require(!indices.empty() && indices.size() <= n, "ot: bad indices");
+  std::vector<Bytes> out;
+  out.reserve(indices.size());
+  for (std::size_t index : indices) {
+    out.push_back(receive_1ofn(channel, index, n, message_len));
+  }
+  return out;
+}
+
+/// --- Loopback engine ----------------------------------------------------------
+
+void LoopbackSender::send(net::Endpoint& channel,
+                          std::span<const Bytes> messages, std::size_t k) {
+  check_equal_lengths(messages);
+  detail::require(k >= 1 && k <= messages.size(), "ot: bad k");
+  ByteWriter w;
+  for (const Bytes& m : messages) w.raw(m);
+  channel.send(w.take());
+}
+
+std::vector<Bytes> LoopbackReceiver::receive(
+    net::Endpoint& channel, std::span<const std::size_t> indices,
+    std::size_t n, std::size_t message_len) {
+  const Bytes bundle = channel.recv();
+  detail::require(bundle.size() == n * message_len,
+                  "loopback ot: bad bundle size");
+  std::vector<Bytes> out;
+  out.reserve(indices.size());
+  for (std::size_t index : indices) {
+    detail::require(index < n, "loopback ot: index out of range");
+    out.emplace_back(
+        bundle.begin() + static_cast<std::ptrdiff_t>(index * message_len),
+        bundle.begin() + static_cast<std::ptrdiff_t>((index + 1) * message_len));
+  }
+  return out;
+}
+
+/// --- Precomputed k-out-of-n engine ---------------------------------------------
+///
+/// Same wire structure as the Naor-Pinkas engine's 1-out-of-n (ciphertext
+/// bundle + key transfers), but every 1-out-of-2 key transfer runs through
+/// a precomputed Beaver slot: two XOR'ed key pads and one correction bit,
+/// no group exponentiation online.
+
+std::size_t index_bits(std::size_t n) {
+  return n <= 1 ? 0 : bits_for(n);
+}
+
+PrecomputedOtSender::PrecomputedOtSender(net::Endpoint& channel,
+                                         NaorPinkasSender& base,
+                                         std::size_t slots, Rng& rng)
+    : rng_(rng),
+      slots_(precompute_ot_sender(channel, base, slots, 32, rng)) {}
+
+void PrecomputedOtSender::send_1ofn(net::Endpoint& channel,
+                                    std::span<const Bytes> messages) {
+  check_equal_lengths(messages);
+  const std::size_t n = messages.size();
+  if (n == 1) {
+    channel.send(messages.front());
+    return;
+  }
+  const std::size_t nbits = bits_for(n);
+  if (next_ + nbits > slots_.size()) {
+    throw ProtocolError("precomputed ot: slot pool exhausted");
+  }
+
+  std::vector<std::array<Bytes, 2>> keys(nbits);
+  for (auto& pair : keys) {
+    for (int side = 0; side < 2; ++side) {
+      Bytes& key = pair[side];
+      key.resize(32);
+      for (auto& byte : key) byte = static_cast<std::uint8_t>(rng_());
+    }
+  }
+
+  ByteWriter w;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Bytes> parts;
+    parts.reserve(nbits + 1);
+    for (std::size_t j = 0; j < nbits; ++j) {
+      parts.push_back(keys[j][(i >> j) & 1]);
+    }
+    Bytes idx(8);
+    for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(i >> (8 * b));
+    parts.push_back(idx);
+    w.raw(xor_pad(sha256_tagged(parts), messages[i]));
+  }
+  channel.send(w.take());
+
+  for (std::size_t j = 0; j < nbits; ++j) {
+    precomputed_send_1of2(channel, slots_[next_++], keys[j][0], keys[j][1]);
+  }
+}
+
+void PrecomputedOtSender::send(net::Endpoint& channel,
+                               std::span<const Bytes> messages,
+                               std::size_t k) {
+  check_equal_lengths(messages);
+  detail::require(k >= 1 && k <= messages.size(), "ot: bad k");
+  for (std::size_t i = 0; i < k; ++i) {
+    send_1ofn(channel, messages);
+  }
+}
+
+PrecomputedOtReceiver::PrecomputedOtReceiver(net::Endpoint& channel,
+                                             NaorPinkasReceiver& base,
+                                             std::size_t slots, Rng& rng)
+    : slots_(precompute_ot_receiver(channel, base, slots, 32, rng)) {}
+
+Bytes PrecomputedOtReceiver::receive_1ofn(net::Endpoint& channel,
+                                          std::size_t index, std::size_t n,
+                                          std::size_t message_len) {
+  detail::require(index < n, "ot_1ofn: index out of range");
+  if (n == 1) return channel.recv();
+  const std::size_t nbits = bits_for(n);
+  if (next_ + nbits > slots_.size()) {
+    throw ProtocolError("precomputed ot: slot pool exhausted");
+  }
+
+  const Bytes ciphertexts = channel.recv();
+  detail::require(ciphertexts.size() == n * message_len,
+                  "ot_1ofn: bad ciphertext bundle");
+
+  std::vector<Bytes> parts;
+  parts.reserve(nbits + 1);
+  for (std::size_t j = 0; j < nbits; ++j) {
+    parts.push_back(precomputed_receive_1of2(channel, slots_[next_++],
+                                             ((index >> j) & 1) != 0));
+  }
+  Bytes idx(8);
+  for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(index >> (8 * b));
+  parts.push_back(idx);
+
+  Bytes cipher(ciphertexts.begin() + static_cast<std::ptrdiff_t>(index * message_len),
+               ciphertexts.begin() + static_cast<std::ptrdiff_t>((index + 1) * message_len));
+  return xor_pad(sha256_tagged(parts), cipher);
+}
+
+std::vector<Bytes> PrecomputedOtReceiver::receive(
+    net::Endpoint& channel, std::span<const std::size_t> indices,
+    std::size_t n, std::size_t message_len) {
+  detail::require(!indices.empty() && indices.size() <= n, "ot: bad indices");
+  std::vector<Bytes> out;
+  out.reserve(indices.size());
+  for (std::size_t index : indices) {
+    out.push_back(receive_1ofn(channel, index, n, message_len));
+  }
+  return out;
+}
+
+/// --- Beaver precomputation ------------------------------------------------------
+
+std::vector<PrecomputedSendSlot> precompute_ot_sender(
+    net::Endpoint& channel, NaorPinkasSender& sender, std::size_t count,
+    std::size_t pad_len, Rng& rng) {
+  std::vector<PrecomputedSendSlot> slots(count);
+  for (auto& slot : slots) {
+    slot.r0.resize(pad_len);
+    slot.r1.resize(pad_len);
+    for (auto& byte : slot.r0) byte = static_cast<std::uint8_t>(rng());
+    for (auto& byte : slot.r1) byte = static_cast<std::uint8_t>(rng());
+    sender.send_1of2(channel, slot.r0, slot.r1);
+  }
+  return slots;
+}
+
+std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
+    net::Endpoint& channel, NaorPinkasReceiver& receiver, std::size_t count,
+    std::size_t pad_len, Rng& rng) {
+  std::vector<PrecomputedRecvSlot> slots(count);
+  for (auto& slot : slots) {
+    slot.choice = (rng() & 1) != 0;
+    slot.pad = receiver.receive_1of2(channel, slot.choice, pad_len);
+  }
+  return slots;
+}
+
+void precomputed_send_1of2(net::Endpoint& channel,
+                           const PrecomputedSendSlot& slot, const Bytes& m0,
+                           const Bytes& m1) {
+  detail::require(m0.size() == slot.r0.size() && m1.size() == slot.r1.size(),
+                  "precomputed ot: length mismatch");
+  // Receiver first announces whether its real choice differs from the
+  // precomputed random choice.
+  const Bytes flip_msg = channel.recv();
+  detail::require(flip_msg.size() == 1, "precomputed ot: bad flip message");
+  const bool flip = flip_msg[0] != 0;
+
+  ByteWriter w;
+  Bytes e0 = m0, e1 = m1;
+  const Bytes& pad_for_0 = flip ? slot.r1 : slot.r0;
+  const Bytes& pad_for_1 = flip ? slot.r0 : slot.r1;
+  for (std::size_t i = 0; i < e0.size(); ++i) e0[i] ^= pad_for_0[i];
+  for (std::size_t i = 0; i < e1.size(); ++i) e1[i] ^= pad_for_1[i];
+  w.raw(e0);
+  w.raw(e1);
+  channel.send(w.take());
+}
+
+Bytes precomputed_receive_1of2(net::Endpoint& channel,
+                               const PrecomputedRecvSlot& slot, bool choice) {
+  const bool flip = choice != slot.choice;
+  channel.send(Bytes{static_cast<std::uint8_t>(flip ? 1 : 0)});
+
+  const Bytes reply = channel.recv();
+  const std::size_t len = slot.pad.size();
+  detail::require(reply.size() == 2 * len, "precomputed ot: bad reply");
+  Bytes out(reply.begin() + static_cast<std::ptrdiff_t>(choice ? len : 0),
+            reply.begin() + static_cast<std::ptrdiff_t>(choice ? 2 * len : len));
+  for (std::size_t i = 0; i < len; ++i) out[i] ^= slot.pad[i];
+  return out;
+}
+
+}  // namespace ppds::crypto

@@ -1,0 +1,55 @@
+#include "ppds/data/kstest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppds::data {
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  detail::require(!a.empty() && !b.empty(), "ks_statistic: empty sample");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+double ks_statistic_normalized(std::vector<double> a, std::vector<double> b) {
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double d = ks_statistic(std::move(a), std::move(b));
+  return d * std::sqrt(na * nb / (na + nb));
+}
+
+KsComparison ks_compare(const svm::Dataset& a, const svm::Dataset& b) {
+  detail::require(a.dim() == b.dim() && a.dim() > 0,
+                  "ks_compare: dimension mismatch");
+  KsComparison out;
+  const std::size_t d = a.dim();
+  const double norm_factor =
+      std::sqrt(static_cast<double>(a.size()) * static_cast<double>(b.size()) /
+                static_cast<double>(a.size() + b.size()));
+  for (std::size_t i = 0; i < d; ++i) {
+    std::vector<double> col_a(a.size()), col_b(b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) col_a[r] = a.x[r][i];
+    for (std::size_t r = 0; r < b.size(); ++r) col_b[r] = b.x[r][i];
+    const double stat = ks_statistic(std::move(col_a), std::move(col_b));
+    out.per_dimension_d.push_back(stat);
+    out.average_d += stat;
+    out.average_normalized += stat * norm_factor;
+  }
+  out.average_d /= static_cast<double>(d);
+  out.average_normalized /= static_cast<double>(d);
+  return out;
+}
+
+}  // namespace ppds::data

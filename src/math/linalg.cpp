@@ -1,0 +1,60 @@
+#include "ppds/math/linalg.hpp"
+
+#include <cmath>
+
+namespace ppds::math {
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  detail::require(a.cols() == n && b.size() == n, "solve: shape mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) {
+      throw InvalidArgument("solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= a(r, c) * x[c];
+    x[r] = acc / a(r, r);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b) {
+  const std::size_t m = a.rows(), n = a.cols();
+  detail::require(b.size() == m && m >= n, "least_squares: shape mismatch");
+  Matrix ata(n, n);
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < m; ++r) acc += a(r, i) * a(r, j);
+      ata(i, j) = acc;
+    }
+    // Tiny ridge term keeps the normal equations solvable when the attack
+    // feeds us nearly collinear sample points.
+    ata(i, i) += 1e-10;
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m; ++r) acc += a(r, i) * b[r];
+    atb[i] = acc;
+  }
+  return solve(ata, atb);
+}
+
+}  // namespace ppds::math

@@ -1,0 +1,28 @@
+#include "ppds/math/rootfind.hpp"
+
+#include <cmath>
+
+namespace ppds::math {
+
+std::optional<double> bisect(const std::function<double(double)>& f, double lo,
+                             double hi, double tol, int max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) return std::nullopt;
+  for (int i = 0; i < max_iter && hi - lo > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ppds::math

@@ -1,0 +1,49 @@
+#include "ppds/math/taylor.hpp"
+
+namespace ppds::math {
+
+std::vector<double> exp_taylor(std::size_t order) {
+  std::vector<double> c(order + 1);
+  double factorial = 1.0;
+  c[0] = 1.0;
+  for (std::size_t i = 1; i <= order; ++i) {
+    factorial *= static_cast<double>(i);
+    c[i] = 1.0 / factorial;
+  }
+  return c;
+}
+
+std::vector<double> tanh_taylor(std::size_t order) {
+  // tanh(x) = x - x^3/3 + 2x^5/15 - 17x^7/315 + 62 x^9 / 2835 - ...
+  // Generated from t_{n} recurrence on the tangent numbers; hardcoding the
+  // first terms is fine because the series only converges for |x| < pi/2 and
+  // higher orders add nothing useful at the scaled inputs the kernels see.
+  static const double known[] = {
+      0.0,
+      1.0,
+      0.0,
+      -1.0 / 3.0,
+      0.0,
+      2.0 / 15.0,
+      0.0,
+      -17.0 / 315.0,
+      0.0,
+      62.0 / 2835.0,
+      0.0,
+      -1382.0 / 155925.0,
+      0.0,
+      21844.0 / 6081075.0,
+  };
+  const std::size_t available = sizeof(known) / sizeof(known[0]);
+  std::vector<double> c(order + 1, 0.0);
+  for (std::size_t i = 0; i <= order && i < available; ++i) c[i] = known[i];
+  return c;
+}
+
+double eval_taylor(const std::vector<double>& coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+}  // namespace ppds::math

@@ -1,0 +1,413 @@
+#include "ppds/ompe/ompe.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <set>
+
+#include "ppds/common/error.hpp"
+#include "ppds/field/encoding.hpp"
+#include "ppds/math/interpolate.hpp"
+#include "ppds/math/poly.hpp"
+
+namespace ppds::ompe {
+
+namespace {
+
+using field::M61;
+
+constexpr std::uint8_t kMsgVersion = 1;
+
+M61 random_field_element(Rng& rng) {
+  for (;;) {
+    const std::uint64_t v = rng() >> 3;  // 61 bits
+    if (v < M61::kP) return M61(v);
+  }
+}
+
+M61 random_nonzero_field_element(Rng& rng) {
+  for (;;) {
+    const M61 v = random_field_element(rng);
+    if (!v.is_zero()) return v;
+  }
+}
+
+/// Encodes the sender's real polynomial into the field with scale
+/// harmonization: a term of degree d gets an extra factor 2^{f*(D-d)} so
+/// every term carries the uniform accumulated scale 2^{f*(D+1)}.
+std::vector<M61> encode_term_coeffs(const math::MultiPoly& secret,
+                                    unsigned total_degree, unsigned frac_bits) {
+  std::vector<M61> out;
+  out.reserve(secret.terms().size());
+  for (const math::Term& term : secret.terms()) {
+    unsigned d = 0;
+    for (unsigned e : term.exps) d += e;
+    detail::require(d <= total_degree, "ompe: term degree above declared");
+    const double scale =
+        std::pow(2.0, static_cast<double>(frac_bits) *
+                          static_cast<double>(1 + total_degree - d));
+    const double scaled = term.coeff * scale;
+    detail::require(std::abs(scaled) < 9.0e17,
+                    "ompe: field encoding overflow; lower frac_bits");
+    out.push_back(M61::from_signed(static_cast<std::int64_t>(std::llround(scaled))));
+  }
+  return out;
+}
+
+M61 evaluate_field(const math::MultiPoly& secret,
+                   const std::vector<M61>& coeffs,
+                   std::span<const M61> z) {
+  M61 acc;
+  const auto& terms = secret.terms();
+  for (std::size_t t = 0; t < terms.size(); ++t) {
+    M61 v = coeffs[t];
+    for (std::size_t i = 0; i < terms[t].exps.size(); ++i) {
+      for (unsigned e = 0; e < terms[t].exps[i]; ++e) v = v * z[i];
+    }
+    acc = acc + v;
+  }
+  return acc;
+}
+
+/// Evaluation nodes for the real backend: one node per jittered slot across
+/// [-hi, -lo] U [lo, hi], keeping pairwise separation so the final Lagrange
+/// step at degree p*q stays well-conditioned.
+std::vector<double> real_nodes(Rng& rng, std::size_t count, double lo,
+                               double hi) {
+  const std::size_t half = (count + 1) / 2;
+  std::vector<double> nodes;
+  nodes.reserve(count);
+  const double width = (hi - lo) / static_cast<double>(half);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t slot = i / 2;
+    const double base = lo + static_cast<double>(slot) * width;
+    const double v = base + rng.uniform(0.15, 0.85) * width;
+    nodes.push_back(i % 2 == 0 ? v : -v);
+  }
+  rng.shuffle(nodes);
+  return nodes;
+}
+
+std::vector<M61> field_nodes(Rng& rng, std::size_t count) {
+  std::set<std::uint64_t> seen;
+  std::vector<M61> nodes;
+  nodes.reserve(count);
+  while (nodes.size() < count) {
+    const M61 v = random_nonzero_field_element(rng);
+    if (seen.insert(v.value()).second) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+Bytes encode_value_real(double v) {
+  ByteWriter w;
+  w.f64(v);
+  return w.take();
+}
+
+Bytes encode_value_field(M61 v) {
+  ByteWriter w;
+  w.u64(v.value());
+  return w.take();
+}
+
+/// Coefficient bound of the receiver's cover polynomials (real backend).
+/// The bound must dominate the |alpha| <= 1 constant term: the value a
+/// cover evaluates to is alpha_i + sum c_j v^j, and with small coefficients
+/// the distribution of wire values would visibly shift with alpha_i
+/// (measured in tests/ompe/privacy_test.cpp). 32x leaves the residual
+/// Kolmogorov-Smirnov distinguishability below noise at realistic sample
+/// counts. The exact field backend needs none of this: its cover
+/// coefficients are uniform field elements (information-theoretic).
+constexpr double kCoverBound = 32.0;
+
+/// Degree-aware cover coefficient bound: cover values enter the sender's
+/// polynomial raised to the total degree p, so the interpolation magnitude
+/// grows like bound^p. Taking the p-th root keeps B(v)'s dynamic range (and
+/// hence the receiver's long-double interpolation error) degree-independent
+/// while preserving the full 32x masking for the degree-1 protocols whose
+/// inputs are the privacy-critical raw features.
+double cover_bound_for(unsigned p) {
+  return p <= 1 ? kCoverBound : std::pow(kCoverBound, 1.0 / p);
+}
+
+/// Draws a fresh random degree-q cover polynomial implicitly and evaluates
+/// it at \p v — the disguise tuples must be statistically indistinguishable
+/// from genuine cover evaluations, and this avoids materializing throwaway
+/// polynomials (the nonlinear scheme has hundreds of thousands of variates).
+double random_cover_eval(Rng& rng, unsigned q, double v, double bound) {
+  double acc = 0.0;
+  for (unsigned j = 0; j < q; ++j) {
+    acc = acc * v + rng.uniform_nonzero(-bound, bound);
+  }
+  return acc * v + rng.uniform(-1.0, 1.0);
+}
+
+struct RequestHeader {
+  std::uint8_t version = kMsgVersion;
+  std::uint8_t backend = 0;
+  std::uint32_t degree = 0;
+  std::uint64_t arity = 0;
+  std::uint64_t total_pairs = 0;  // M
+  std::uint64_t keep_pairs = 0;   // m
+};
+
+void write_header(ByteWriter& w, const RequestHeader& h) {
+  w.u8(h.version);
+  w.u8(h.backend);
+  w.u32(h.degree);
+  w.u64(h.arity);
+  w.u64(h.total_pairs);
+  w.u64(h.keep_pairs);
+}
+
+RequestHeader read_header(ByteReader& r) {
+  RequestHeader h;
+  h.version = r.u8();
+  if (h.version != kMsgVersion) throw ProtocolError("ompe: bad version");
+  h.backend = r.u8();
+  h.degree = r.u32();
+  h.arity = r.u64();
+  h.total_pairs = r.u64();
+  h.keep_pairs = r.u64();
+  return h;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared sender body: parses and validates the receiver's request, then
+/// evaluates A(v, z) = h(v) + P(z) on every disguised pair with the
+/// supplied evaluators and hands the values to the k-out-of-n OT.
+void run_sender_impl(
+    net::Endpoint& channel, std::size_t arity, unsigned actual_degree,
+    unsigned declared_degree, const OmpeParams& params, crypto::OtSender& ot,
+    Rng& rng,
+    const std::function<double(const std::vector<double>&)>& eval_real,
+    const std::function<M61(const std::vector<M61>&)>& eval_field) {
+  detail::require(actual_degree >= 1, "ompe: secret must have degree >= 1");
+  detail::require(declared_degree == 0 || declared_degree >= actual_degree,
+                  "ompe: declared degree below actual degree");
+  const unsigned p = declared_degree == 0 ? actual_degree : declared_degree;
+  const std::size_t m = params.m(p);
+  const std::size_t big_m = params.big_m(p);
+
+  const Bytes request = channel.recv();
+  ByteReader r(request);
+  const RequestHeader header = read_header(r);
+  if (header.backend != static_cast<std::uint8_t>(params.backend) ||
+      header.degree != p || header.arity != arity ||
+      header.total_pairs != big_m || header.keep_pairs != m) {
+    throw ProtocolError("ompe: request does not match agreed parameters");
+  }
+
+  std::vector<Bytes> values;
+  values.reserve(big_m);
+
+  if (params.backend == Backend::kReal) {
+    // Masking polynomial h, degree p*q, h(0) = 0. The coefficient bound
+    // trades masking magnitude against the conditioning of the receiver's
+    // degree-p*q interpolation (error scales with |h| at the nodes).
+    const auto h = math::random_poly<double>(rng, p * params.q, 0.0, 8.0);
+    std::vector<double> z(arity);
+    std::set<std::uint64_t> seen_nodes;
+    for (std::size_t i = 0; i < big_m; ++i) {
+      const double v = r.f64();
+      if (v == 0.0) throw ProtocolError("ompe: zero node");
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      if (!seen_nodes.insert(bits).second) {
+        throw ProtocolError("ompe: repeated node");
+      }
+      for (double& zi : z) zi = r.f64();
+      values.push_back(encode_value_real(h(v) + eval_real(z)));
+    }
+    r.expect_end();
+  } else {
+    // h over the field: uniform coefficients, zero constant term.
+    std::vector<M61> h_coeffs(p * params.q + 1);
+    for (std::size_t i = 1; i < h_coeffs.size(); ++i) {
+      h_coeffs[i] = random_field_element(rng);
+    }
+    const math::Poly<M61> h(std::move(h_coeffs));
+    std::vector<M61> z(arity);
+    std::set<std::uint64_t> seen_nodes;
+    for (std::size_t i = 0; i < big_m; ++i) {
+      const M61 v(r.u64());
+      if (v.is_zero()) throw ProtocolError("ompe: zero node");
+      if (!seen_nodes.insert(v.value()).second) {
+        throw ProtocolError("ompe: repeated node");
+      }
+      for (M61& zi : z) zi = M61(r.u64());
+      values.push_back(encode_value_field(h(v) + eval_field(z)));
+    }
+    r.expect_end();
+  }
+
+  ot.send(channel, values, m);
+}
+
+}  // namespace
+
+void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
+                const OmpeParams& params, crypto::OtSender& ot, Rng& rng,
+                unsigned declared_degree) {
+  const unsigned actual = std::max(1u, secret.total_degree());
+  const unsigned p = declared_degree == 0 ? actual : declared_degree;
+
+  std::vector<M61> coeffs;
+  if (params.backend == Backend::kField) {
+    coeffs = encode_term_coeffs(secret, p, params.frac_bits);
+  }
+  run_sender_impl(
+      channel, secret.arity(), actual, declared_degree, params, ot, rng,
+      [&secret](const std::vector<double>& z) { return secret.evaluate(z); },
+      [&secret, &coeffs](const std::vector<M61>& z) {
+        return evaluate_field(secret, coeffs, z);
+      });
+}
+
+void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
+                       double b, const OmpeParams& params,
+                       crypto::OtSender& ot, Rng& rng,
+                       unsigned declared_degree) {
+  const unsigned p = declared_degree == 0 ? 1 : declared_degree;
+
+  // Field encoding with scale harmonization: linear terms carry one input
+  // scale, so their coefficients get 2^{f*p}; the constant gets 2^{f*(p+1)}.
+  std::vector<M61> w_enc;
+  M61 b_enc;
+  if (params.backend == Backend::kField) {
+    const double w_scale =
+        std::pow(2.0, static_cast<double>(params.frac_bits) * p);
+    const double b_scale =
+        std::pow(2.0, static_cast<double>(params.frac_bits) * (p + 1));
+    w_enc.reserve(w.size());
+    for (double wi : w) {
+      const double scaled = wi * w_scale;
+      detail::require(std::abs(scaled) < 9.0e17,
+                      "ompe: field encoding overflow; lower frac_bits");
+      w_enc.push_back(
+          M61::from_signed(static_cast<std::int64_t>(std::llround(scaled))));
+    }
+    const double scaled_b = b * b_scale;
+    detail::require(std::abs(scaled_b) < 9.0e17,
+                    "ompe: field encoding overflow; lower frac_bits");
+    b_enc = M61::from_signed(static_cast<std::int64_t>(std::llround(scaled_b)));
+  }
+
+  run_sender_impl(
+      channel, w.size(), 1, declared_degree, params, ot, rng,
+      [&w, b](const std::vector<double>& z) {
+        double acc = b;
+        for (std::size_t i = 0; i < z.size(); ++i) acc += w[i] * z[i];
+        return acc;
+      },
+      [&w_enc, b_enc](const std::vector<M61>& z) {
+        M61 acc = b_enc;
+        for (std::size_t i = 0; i < z.size(); ++i) acc = acc + w_enc[i] * z[i];
+        return acc;
+      });
+}
+
+double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
+                    unsigned degree, std::size_t arity,
+                    const OmpeParams& params, crypto::OtReceiver& ot,
+                    Rng& rng) {
+  detail::require(alpha.size() == arity, "ompe: alpha arity mismatch");
+  detail::require(degree >= 1, "ompe: degree must be >= 1");
+  const std::size_t m = params.m(degree);
+  const std::size_t big_m = params.big_m(degree);
+  const std::vector<std::size_t> keep = rng.sample_indices(big_m, m);
+  std::vector<bool> is_kept(big_m, false);
+  for (std::size_t idx : keep) is_kept[idx] = true;
+
+  ByteWriter w;
+  RequestHeader header;
+  header.backend = static_cast<std::uint8_t>(params.backend);
+  header.degree = degree;
+  header.arity = arity;
+  header.total_pairs = big_m;
+  header.keep_pairs = m;
+  write_header(w, header);
+
+  if (params.backend == Backend::kReal) {
+    // Cover polynomials G = (g_1 .. g_r), g_i(0) = alpha_i.
+    const double bound = cover_bound_for(degree);
+    std::vector<math::Poly<double>> covers;
+    covers.reserve(arity);
+    for (std::size_t i = 0; i < arity; ++i) {
+      covers.push_back(
+          math::random_poly<double>(rng, params.q, alpha[i], bound));
+    }
+    const std::vector<double> nodes =
+        real_nodes(rng, big_m, params.node_lo, params.node_hi);
+    std::vector<double> kept_nodes;
+    kept_nodes.reserve(m);
+    for (std::size_t i = 0; i < big_m; ++i) {
+      w.f64(nodes[i]);
+      if (is_kept[i]) {
+        kept_nodes.push_back(nodes[i]);
+        for (const auto& g : covers) w.f64(g(nodes[i]));
+      } else {
+        // Disguise tuples drawn from the same distribution family as real
+        // cover evaluations, so Alice cannot tell them apart statistically.
+        for (std::size_t j = 0; j < arity; ++j) {
+          w.f64(random_cover_eval(rng, params.q, nodes[i], bound));
+        }
+      }
+    }
+    channel.send(w.take());
+
+    const std::vector<Bytes> replies = ot.receive(channel, keep, big_m, 8);
+    std::vector<long double> xs(m), ys(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      ByteReader vr(replies[j]);
+      xs[j] = static_cast<long double>(kept_nodes[j]);
+      ys[j] = static_cast<long double>(vr.f64());
+      vr.expect_end();
+    }
+    return static_cast<double>(math::lagrange_at_zero<long double>(xs, ys));
+  }
+
+  // Field backend.
+  const FixedPoint fp{params.frac_bits};
+  std::vector<math::Poly<M61>> covers;
+  covers.reserve(arity);
+  for (std::size_t i = 0; i < arity; ++i) {
+    std::vector<M61> c(params.q + 1);
+    c[0] = field::encode(fp, alpha[i]);
+    for (std::size_t j = 1; j < c.size(); ++j) c[j] = random_field_element(rng);
+    covers.emplace_back(std::move(c));
+  }
+  const std::vector<M61> nodes = field_nodes(rng, big_m);
+  std::vector<M61> kept_nodes;
+  kept_nodes.reserve(m);
+  for (std::size_t i = 0; i < big_m; ++i) {
+    w.u64(nodes[i].value());
+    if (is_kept[i]) {
+      kept_nodes.push_back(nodes[i]);
+      for (const auto& g : covers) w.u64(g(nodes[i]).value());
+    } else {
+      for (std::size_t j = 0; j < arity; ++j) {
+        w.u64(random_field_element(rng).value());
+      }
+    }
+  }
+  channel.send(w.take());
+
+  const std::vector<Bytes> replies = ot.receive(channel, keep, big_m, 8);
+  std::vector<M61> xs(m), ys(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    ByteReader vr(replies[j]);
+    xs[j] = kept_nodes[j];
+    ys[j] = M61(vr.u64());
+    vr.expect_end();
+  }
+  const M61 b0 = math::lagrange_at_zero<M61>(xs, ys);
+  return field::decode(fp, b0, degree + 1);
+}
+
+}  // namespace ppds::ompe

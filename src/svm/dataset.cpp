@@ -1,0 +1,152 @@
+#include "ppds/svm/dataset.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+namespace ppds::svm {
+
+void Dataset::validate() const {
+  detail::require(x.size() == y.size(), "Dataset: x/y size mismatch");
+  const std::size_t d = dim();
+  for (const math::Vec& row : x) {
+    detail::require(row.size() == d, "Dataset: ragged rows");
+  }
+  for (int label : y) {
+    detail::require(label == 1 || label == -1, "Dataset: labels must be +/-1");
+  }
+}
+
+void Dataset::push(math::Vec features, int label) {
+  x.push_back(std::move(features));
+  y.push_back(label);
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double train_fraction, Rng& rng) {
+  detail::require(train_fraction > 0.0 && train_fraction < 1.0,
+                  "train_test_split: fraction must be in (0,1)");
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const std::size_t n_train =
+      static_cast<std::size_t>(std::round(train_fraction * static_cast<double>(data.size())));
+  Dataset train, test;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Dataset& target = (i < n_train) ? train : test;
+    target.push(data.x[order[i]], data.y[order[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<Dataset> split_subsets(const Dataset& data, std::size_t parts,
+                                   Rng& rng) {
+  detail::require(parts >= 1, "split_subsets: need >= 1 part");
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<Dataset> out(parts);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    out[i % parts].push(data.x[order[i]], data.y[order[i]]);
+  }
+  return out;
+}
+
+void FeatureScaler::fit(const Dataset& data) {
+  detail::require(data.size() > 0, "FeatureScaler: empty dataset");
+  const std::size_t d = data.dim();
+  lo_.assign(d, std::numeric_limits<double>::infinity());
+  hi_.assign(d, -std::numeric_limits<double>::infinity());
+  for (const math::Vec& row : data.x) {
+    for (std::size_t i = 0; i < d; ++i) {
+      lo_[i] = std::min(lo_[i], row[i]);
+      hi_[i] = std::max(hi_[i], row[i]);
+    }
+  }
+}
+
+math::Vec FeatureScaler::transform(const math::Vec& x) const {
+  detail::require(fitted() && x.size() == lo_.size(),
+                  "FeatureScaler: not fitted or dimension mismatch");
+  math::Vec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double span = hi_[i] - lo_[i];
+    if (span <= 0.0) {
+      out[i] = 0.0;
+    } else {
+      // Clamp so test samples outside the training range stay in [-1, 1].
+      const double v = -1.0 + 2.0 * (x[i] - lo_[i]) / span;
+      out[i] = std::fmin(1.0, std::fmax(-1.0, v));
+    }
+  }
+  return out;
+}
+
+Dataset FeatureScaler::transform(const Dataset& data) const {
+  Dataset out;
+  out.y = data.y;
+  out.x.reserve(data.size());
+  for (const math::Vec& row : data.x) out.x.push_back(transform(row));
+  return out;
+}
+
+Dataset read_libsvm(const std::string& path, std::size_t dim_hint) {
+  std::ifstream in(path);
+  if (!in) throw InvalidArgument("read_libsvm: cannot open " + path);
+  std::vector<std::vector<std::pair<std::size_t, double>>> sparse_rows;
+  std::vector<int> labels;
+  std::size_t max_index = dim_hint;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double label_value;
+    ls >> label_value;
+    labels.push_back(label_value > 0 ? 1 : -1);
+    std::vector<std::pair<std::size_t, double>> row;
+    std::string token;
+    while (ls >> token) {
+      const std::size_t colon = token.find(':');
+      detail::require(colon != std::string::npos, "read_libsvm: bad token");
+      const std::size_t index = std::stoul(token.substr(0, colon));
+      const double value = std::stod(token.substr(colon + 1));
+      detail::require(index >= 1, "read_libsvm: indices are 1-based");
+      max_index = std::max(max_index, index);
+      row.emplace_back(index - 1, value);
+    }
+    sparse_rows.push_back(std::move(row));
+  }
+  Dataset data;
+  for (std::size_t r = 0; r < sparse_rows.size(); ++r) {
+    math::Vec dense(max_index, 0.0);
+    for (const auto& [idx, value] : sparse_rows[r]) dense[idx] = value;
+    data.push(std::move(dense), labels[r]);
+  }
+  return data;
+}
+
+void write_libsvm(const std::string& path, const Dataset& data) {
+  std::ofstream out(path);
+  if (!out) throw InvalidArgument("write_libsvm: cannot open " + path);
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    out << (data.y[r] > 0 ? "+1" : "-1");
+    for (std::size_t i = 0; i < data.x[r].size(); ++i) {
+      if (data.x[r][i] != 0.0) out << ' ' << (i + 1) << ':' << data.x[r][i];
+    }
+    out << '\n';
+  }
+}
+
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& truth) {
+  detail::require(predicted.size() == truth.size() && !truth.empty(),
+                  "accuracy: size mismatch");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace ppds::svm

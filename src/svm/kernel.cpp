@@ -1,0 +1,62 @@
+#include "ppds/svm/kernel.hpp"
+
+#include <cmath>
+
+namespace ppds::svm {
+
+double Kernel::operator()(std::span<const double> x,
+                          std::span<const double> y) const {
+  switch (type) {
+    case KernelType::kLinear:
+      return math::dot(x, y);
+    case KernelType::kPolynomial: {
+      const double base = a0 * math::dot(x, y) + b0;
+      double out = 1.0;
+      for (unsigned i = 0; i < degree; ++i) out *= base;
+      return out;
+    }
+    case KernelType::kRbf:
+      return std::exp(-gamma * math::dist2(x, y));
+    case KernelType::kSigmoid:
+      return std::tanh(a0 * math::dot(x, y) + c0);
+  }
+  throw InvalidArgument("Kernel: unknown type");
+}
+
+std::string Kernel::name() const {
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kPolynomial:
+      return "polynomial(p=" + std::to_string(degree) + ")";
+    case KernelType::kRbf:
+      return "rbf(gamma=" + std::to_string(gamma) + ")";
+    case KernelType::kSigmoid:
+      return "sigmoid";
+  }
+  return "unknown";
+}
+
+void Kernel::serialize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(type));
+  w.f64(a0);
+  w.f64(b0);
+  w.u32(degree);
+  w.f64(gamma);
+  w.f64(c0);
+}
+
+Kernel Kernel::deserialize(ByteReader& r) {
+  Kernel k;
+  const std::uint8_t raw_type = r.u8();
+  if (raw_type > 3) throw SerializationError("Kernel: bad type tag");
+  k.type = static_cast<KernelType>(raw_type);
+  k.a0 = r.f64();
+  k.b0 = r.f64();
+  k.degree = r.u32();
+  k.gamma = r.f64();
+  k.c0 = r.f64();
+  return k;
+}
+
+}  // namespace ppds::svm

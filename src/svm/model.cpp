@@ -1,0 +1,88 @@
+#include "ppds/svm/model.hpp"
+
+namespace ppds::svm {
+
+SvmModel::SvmModel(Kernel kernel, std::vector<math::Vec> support_vectors,
+                   std::vector<double> coeffs, double bias)
+    : kernel_(kernel),
+      sv_(std::move(support_vectors)),
+      coeff_(std::move(coeffs)),
+      bias_(bias) {
+  detail::require(sv_.size() == coeff_.size(), "SvmModel: sv/coeff mismatch");
+  detail::require(!sv_.empty(), "SvmModel: no support vectors");
+  const std::size_t d = sv_.front().size();
+  for (const math::Vec& v : sv_) {
+    detail::require(v.size() == d, "SvmModel: ragged support vectors");
+  }
+}
+
+double SvmModel::decision_value(std::span<const double> t) const {
+  double acc = bias_;
+  for (std::size_t s = 0; s < sv_.size(); ++s) {
+    acc += coeff_[s] * kernel_(sv_[s], t);
+  }
+  return acc;
+}
+
+int SvmModel::predict(std::span<const double> t) const {
+  return decision_value(t) < 0.0 ? -1 : 1;
+}
+
+std::vector<int> SvmModel::predict_all(
+    const std::vector<math::Vec>& samples) const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const math::Vec& s : samples) out.push_back(predict(s));
+  return out;
+}
+
+math::Vec SvmModel::linear_weights() const {
+  detail::require(kernel_.type == KernelType::kLinear,
+                  "linear_weights: kernel is not linear");
+  math::Vec w(dim(), 0.0);
+  for (std::size_t s = 0; s < sv_.size(); ++s) {
+    math::axpy(coeff_[s], sv_[s], w);
+  }
+  return w;
+}
+
+Bytes SvmModel::serialize() const {
+  ByteWriter w;
+  kernel_.serialize(w);
+  w.f64(bias_);
+  w.u64(sv_.size());
+  w.u64(dim());
+  for (std::size_t s = 0; s < sv_.size(); ++s) {
+    w.f64(coeff_[s]);
+    for (double v : sv_[s]) w.f64(v);
+  }
+  return w.take();
+}
+
+SvmModel SvmModel::deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const Kernel kernel = Kernel::deserialize(r);
+  const double bias = r.f64();
+  const std::uint64_t count = r.u64();
+  const std::uint64_t d = r.u64();
+  // Validate the untrusted counts against the actual payload size BEFORE
+  // allocating: a forged header must not be able to trigger bad_alloc.
+  if (d == 0 || count == 0 || d > r.remaining() / 8 ||
+      count > r.remaining() / ((1 + d) * 8)) {
+    throw SerializationError("SvmModel: header counts exceed payload");
+  }
+  std::vector<math::Vec> sv;
+  std::vector<double> coeff;
+  sv.reserve(count);
+  coeff.reserve(count);
+  for (std::uint64_t s = 0; s < count; ++s) {
+    coeff.push_back(r.f64());
+    math::Vec v(d);
+    for (std::uint64_t i = 0; i < d; ++i) v[i] = r.f64();
+    sv.push_back(std::move(v));
+  }
+  r.expect_end();
+  return SvmModel(kernel, std::move(sv), std::move(coeff), bias);
+}
+
+}  // namespace ppds::svm

@@ -1,0 +1,76 @@
+#include "ppds/svm/multiclass.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ppds::svm {
+
+MulticlassModel MulticlassModel::train(const MulticlassDataset& data,
+                                       const Kernel& kernel,
+                                       const SmoParams& params) {
+  detail::require(data.size() >= 2, "multiclass: need samples");
+  MulticlassModel out;
+  {
+    std::set<int> distinct(data.y.begin(), data.y.end());
+    out.labels_.assign(distinct.begin(), distinct.end());
+  }
+  detail::require(out.labels_.size() >= 2, "multiclass: need >= 2 classes");
+
+  for (std::size_t a = 0; a < out.labels_.size(); ++a) {
+    for (std::size_t b = a + 1; b < out.labels_.size(); ++b) {
+      const int pos = out.labels_[a];
+      const int neg = out.labels_[b];
+      Dataset pair_data;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data.y[i] == pos) {
+          pair_data.push(data.x[i], 1);
+        } else if (data.y[i] == neg) {
+          pair_data.push(data.x[i], -1);
+        }
+      }
+      out.pairs_.push_back(
+          PairwiseModel{pos, neg, train_svm(pair_data, kernel, params)});
+    }
+  }
+  return out;
+}
+
+int MulticlassModel::resolve_votes(std::span<const int> pairwise_signs) const {
+  detail::require(pairwise_signs.size() == pairs_.size(),
+                  "multiclass: vote count mismatch");
+  std::vector<int> votes(labels_.size(), 0);
+  auto label_index = [&](int label) {
+    return static_cast<std::size_t>(
+        std::lower_bound(labels_.begin(), labels_.end(), label) -
+        labels_.begin());
+  };
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    const int winner = pairwise_signs[p] >= 0 ? pairs_[p].positive_label
+                                              : pairs_[p].negative_label;
+    votes[label_index(winner)] += 1;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < votes.size(); ++i) {
+    if (votes[i] > votes[best]) best = i;
+  }
+  return labels_[best];
+}
+
+int MulticlassModel::predict(std::span<const double> t) const {
+  std::vector<int> signs;
+  signs.reserve(pairs_.size());
+  for (const PairwiseModel& pair : pairs_) {
+    signs.push_back(pair.model.predict(t));
+  }
+  return resolve_votes(signs);
+}
+
+std::vector<int> MulticlassModel::predict_all(
+    const std::vector<math::Vec>& samples) const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const math::Vec& s : samples) out.push_back(predict(s));
+  return out;
+}
+
+}  // namespace ppds::svm

@@ -1,0 +1,265 @@
+#include "ppds/svm/smo.hpp"
+
+#include <cmath>
+#include <limits>
+#include <list>
+#include <unordered_map>
+
+#include "ppds/common/stopwatch.hpp"
+
+namespace ppds::svm {
+
+namespace {
+
+/// LRU cache of kernel matrix rows. Row i holds K(x_i, x_j) for all j.
+class KernelCache {
+ public:
+  KernelCache(const Dataset& data, const Kernel& kernel, std::size_t max_rows)
+      : data_(data), kernel_(kernel), max_rows_(std::max<std::size_t>(max_rows, 2)) {}
+
+  /// Returns the cached row, computing it on miss (O(n * d)).
+  const std::vector<double>& row(std::size_t i) {
+    auto it = map_.find(i);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.values;
+    }
+    if (map_.size() >= max_rows_) {
+      const std::size_t victim = lru_.back();
+      lru_.pop_back();
+      map_.erase(victim);
+    }
+    lru_.push_front(i);
+    Entry entry;
+    entry.lru_it = lru_.begin();
+    entry.values.resize(data_.size());
+    for (std::size_t j = 0; j < data_.size(); ++j) {
+      entry.values[j] = kernel_(data_.x[i], data_.x[j]);
+    }
+    auto [pos, inserted] = map_.emplace(i, std::move(entry));
+    (void)inserted;
+    return pos->second.values;
+  }
+
+  /// K(x_i, x_i) values are needed every selection step; precomputed.
+  double diag(std::size_t i) const { return diag_[i]; }
+
+  void precompute_diag() {
+    diag_.resize(data_.size());
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      diag_[i] = kernel_(data_.x[i], data_.x[i]);
+    }
+  }
+
+ private:
+  struct Entry {
+    std::list<std::size_t>::iterator lru_it;
+    std::vector<double> values;
+  };
+
+  const Dataset& data_;
+  const Kernel& kernel_;
+  std::size_t max_rows_;
+  std::unordered_map<std::size_t, Entry> map_;
+  std::list<std::size_t> lru_;
+  std::vector<double> diag_;
+};
+
+constexpr double kTau = 1e-12;
+
+}  // namespace
+
+SvmModel train_svm(const Dataset& data, const Kernel& kernel,
+                   const SmoParams& params, TrainStats* stats) {
+  data.validate();
+  detail::require(data.size() >= 2, "train_svm: need at least 2 samples");
+  bool has_pos = false, has_neg = false;
+  for (int label : data.y) (label > 0 ? has_pos : has_neg) = true;
+  detail::require(has_pos && has_neg, "train_svm: need both classes");
+
+  Stopwatch watch;
+  const std::size_t n = data.size();
+  const double c = params.c;
+
+  std::vector<double> alpha(n, 0.0);
+  // Gradient of the dual objective: G_i = sum_j Q_ij a_j - 1; starts at -1.
+  std::vector<double> grad(n, -1.0);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = static_cast<double>(data.y[i]);
+
+  KernelCache cache(data, kernel, params.cache_rows);
+  cache.precompute_diag();
+
+  auto in_up = [&](std::size_t t) {
+    return (y[t] > 0 && alpha[t] < c) || (y[t] < 0 && alpha[t] > 0);
+  };
+  auto in_low = [&](std::size_t t) {
+    return (y[t] > 0 && alpha[t] > 0) || (y[t] < 0 && alpha[t] < c);
+  };
+
+  std::size_t iter = 0;
+  bool converged = false;
+  for (; iter < params.max_iterations; ++iter) {
+    // WSS: i maximizes -y_i G_i over I_up.
+    double m_up = -std::numeric_limits<double>::infinity();
+    std::size_t i = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!in_up(t)) continue;
+      const double v = -y[t] * grad[t];
+      if (v > m_up) {
+        m_up = v;
+        i = t;
+      }
+    }
+    if (i == n) {
+      converged = true;
+      break;
+    }
+    const std::vector<double>& q_i = cache.row(i);
+    const double kii = cache.diag(i);
+
+    // j: second-order heuristic among violating I_low indices.
+    double m_low = std::numeric_limits<double>::infinity();
+    double best_obj = 0.0;
+    std::size_t j = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!in_low(t)) continue;
+      const double v = -y[t] * grad[t];
+      m_low = std::min(m_low, v);
+      const double b_it = m_up - v;
+      if (b_it <= 0.0) continue;
+      // Curvature along the feasible direction: K_ii + K_tt - 2 K_it
+      // (independent of the labels; the y's cancel in Q-space).
+      double a_it = kii + cache.diag(t) - 2.0 * q_i[t];
+      if (a_it <= 0.0) a_it = kTau;
+      const double obj = -(b_it * b_it) / a_it;
+      if (obj < best_obj) {
+        best_obj = obj;
+        j = t;
+      }
+    }
+    if (j == n || m_up - m_low < params.tolerance) {
+      converged = true;
+      break;
+    }
+    const std::vector<double>& q_j = cache.row(j);
+    const double kjj = cache.diag(j);
+
+    // Two-variable subproblem (LIBSVM update formulas).
+    double a_ij = kii + kjj - 2.0 * q_i[j];
+    if (a_ij <= 0.0) a_ij = kTau;
+    const double old_ai = alpha[i];
+    const double old_aj = alpha[j];
+
+    if (y[i] != y[j]) {
+      const double delta = (-grad[i] - grad[j]) / a_ij;
+      const double diff = alpha[i] - alpha[j];
+      alpha[i] += delta;
+      alpha[j] += delta;
+      if (diff > 0) {
+        if (alpha[j] < 0) {
+          alpha[j] = 0;
+          alpha[i] = diff;
+        }
+        if (alpha[i] > c) {
+          alpha[i] = c;
+          alpha[j] = c - diff;
+        }
+      } else {
+        if (alpha[i] < 0) {
+          alpha[i] = 0;
+          alpha[j] = -diff;
+        }
+        if (alpha[j] > c) {
+          alpha[j] = c;
+          alpha[i] = c + diff;
+        }
+      }
+    } else {
+      const double delta = (grad[i] - grad[j]) / a_ij;
+      const double sum = alpha[i] + alpha[j];
+      alpha[i] -= delta;
+      alpha[j] += delta;
+      if (sum > c) {
+        if (alpha[i] > c) {
+          alpha[i] = c;
+          alpha[j] = sum - c;
+        }
+        if (alpha[j] > c) {
+          alpha[j] = c;
+          alpha[i] = sum - c;
+        }
+      } else {
+        if (alpha[j] < 0) {
+          alpha[j] = 0;
+          alpha[i] = sum;
+        }
+        if (alpha[i] < 0) {
+          alpha[i] = 0;
+          alpha[j] = sum;
+        }
+      }
+    }
+
+    // Gradient maintenance: G_t += Q_ti * dAi + Q_tj * dAj.
+    const double d_ai = alpha[i] - old_ai;
+    const double d_aj = alpha[j] - old_aj;
+    if (d_ai != 0.0 || d_aj != 0.0) {
+      for (std::size_t t = 0; t < n; ++t) {
+        grad[t] += y[t] * (y[i] * q_i[t] * d_ai + y[j] * q_j[t] * d_aj);
+      }
+    }
+  }
+
+  // Bias from free support vectors (0 < a < C): y_t G_t averages to -rho...
+  // With our sign conventions, for free t: d(x_t) = y_t and
+  // sum_s a_s y_s K(x_s, x_t) = y_t * (grad[t] + 1), hence
+  // b = y_t - y_t*(grad[t] + 1) = -y_t * grad[t].
+  double bias = 0.0;
+  std::size_t free_count = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > kTau && alpha[t] < c - kTau) {
+      bias += -y[t] * grad[t];
+      ++free_count;
+    }
+  }
+  if (free_count > 0) {
+    bias /= static_cast<double>(free_count);
+  } else {
+    // All SVs at bounds: take the midpoint of the feasible interval.
+    double ub = std::numeric_limits<double>::infinity();
+    double lb = -std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < n; ++t) {
+      const double v = -y[t] * grad[t];
+      if (in_up(t)) ub = std::min(ub, v);
+      if (in_low(t)) lb = std::max(lb, v);
+    }
+    bias = (ub + lb) / 2.0;
+    if (!std::isfinite(bias)) bias = 0.0;
+  }
+
+  std::vector<math::Vec> sv;
+  std::vector<double> coeff;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > kTau) {
+      sv.push_back(data.x[t]);
+      coeff.push_back(alpha[t] * y[t]);
+    }
+  }
+  if (sv.empty()) {
+    // Degenerate but possible with tiny C: fall back to a single dummy SV so
+    // the model is still well-formed (decision value == bias everywhere).
+    sv.push_back(math::Vec(data.dim(), 0.0));
+    coeff.push_back(0.0);
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iter;
+    stats->support_vectors = sv.size();
+    stats->converged = converged;
+    stats->train_seconds = watch.seconds();
+  }
+  return SvmModel(kernel, std::move(sv), std::move(coeff), bias);
+}
+
+}  // namespace ppds::svm

@@ -1,0 +1,79 @@
+#include "ppds/svm/validation.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace ppds::svm {
+
+CvResult cross_validate(const Dataset& data, const Kernel& kernel,
+                        const SmoParams& params, std::size_t folds, Rng& rng) {
+  data.validate();
+  detail::require(folds >= 2 && folds <= data.size(),
+                  "cross_validate: need 2 <= folds <= samples");
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  CvResult result;
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    Dataset train, test;
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const std::size_t i = order[pos];
+      if (pos % folds == fold) {
+        test.push(data.x[i], data.y[i]);
+      } else {
+        train.push(data.x[i], data.y[i]);
+      }
+    }
+    bool has_pos = false, has_neg = false;
+    for (int y : train.y) (y > 0 ? has_pos : has_neg) = true;
+    if (!has_pos || !has_neg || test.size() == 0) {
+      // Degenerate fold (tiny or single-class training split): score the
+      // majority prediction rather than aborting the whole CV.
+      int majority = 0;
+      for (int y : train.y) majority += y;
+      const int pred = majority >= 0 ? 1 : -1;
+      std::size_t hits = 0;
+      for (int y : test.y) hits += (y == pred) ? 1 : 0;
+      result.fold_accuracies.push_back(
+          test.size() == 0 ? 0.0
+                           : static_cast<double>(hits) / test.size());
+      continue;
+    }
+    const SvmModel model = train_svm(train, kernel, params);
+    result.fold_accuracies.push_back(
+        accuracy(model.predict_all(test.x), test.y));
+  }
+
+  for (double a : result.fold_accuracies) result.mean_accuracy += a;
+  result.mean_accuracy /= static_cast<double>(result.fold_accuracies.size());
+  double var = 0.0;
+  for (double a : result.fold_accuracies) {
+    var += (a - result.mean_accuracy) * (a - result.mean_accuracy);
+  }
+  result.stddev =
+      std::sqrt(var / static_cast<double>(result.fold_accuracies.size()));
+  return result;
+}
+
+double select_c(const Dataset& data, const Kernel& kernel,
+                std::span<const double> candidates, std::size_t folds,
+                Rng& rng) {
+  detail::require(!candidates.empty(), "select_c: no candidates");
+  double best_c = candidates.front();
+  double best_acc = -1.0;
+  for (double c : candidates) {
+    detail::require(c > 0.0, "select_c: C must be positive");
+    SmoParams params;
+    params.c = c;
+    const CvResult cv = cross_validate(data, kernel, params, folds, rng);
+    if (cv.mean_accuracy > best_acc + 1e-12 ||
+        (std::abs(cv.mean_accuracy - best_acc) <= 1e-12 && c < best_c)) {
+      best_acc = cv.mean_accuracy;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace ppds::svm

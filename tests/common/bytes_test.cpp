@@ -1,0 +1,127 @@
+#include "ppds/common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppds {
+namespace {
+
+TEST(Bytes, RoundTripPrimitives) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  const Bytes buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, RoundTripSpecialDoubles) {
+  ByteWriter w;
+  w.f64(0.0);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(std::numeric_limits<double>::denorm_min());
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_EQ(r.f64(), -0.0);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Bytes, RoundTripBlobsAndStrings) {
+  ByteWriter w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello ppds");
+  w.bytes(Bytes{});
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello ppds");
+  EXPECT_TRUE(r.bytes().empty());
+  r.expect_end();
+}
+
+TEST(Bytes, RoundTripVectors) {
+  ByteWriter w;
+  std::vector<double> dv{1.5, -2.5, 0.0};
+  std::vector<std::uint64_t> uv{0, 1, ~std::uint64_t{0}};
+  w.f64_vec(dv);
+  w.u64_vec(uv);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.f64_vec(), dv);
+  EXPECT_EQ(r.u64_vec(), uv);
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(7);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.u64(), SerializationError);
+}
+
+TEST(Bytes, TruncatedBlobThrows) {
+  ByteWriter w;
+  w.u64(100);  // claims a 100-byte blob follows
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.bytes(), SerializationError);
+}
+
+TEST(Bytes, ExpectEndCatchesTrailingBytes) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  r.u8();
+  EXPECT_THROW(r.expect_end(), SerializationError);
+}
+
+TEST(Bytes, RawReadWithoutPrefix) {
+  ByteWriter w;
+  w.raw(Bytes{9, 8, 7});
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.raw(3), (Bytes{9, 8, 7}));
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u64(1);
+  w.u64(2);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 16u);
+  r.u64();
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+// A length prefix crafted to overflow pos_ + n must not wrap around.
+TEST(Bytes, OverflowingLengthPrefixThrows) {
+  ByteWriter w;
+  w.u64(~std::uint64_t{0});
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.bytes(), SerializationError);
+}
+
+}  // namespace
+}  // namespace ppds

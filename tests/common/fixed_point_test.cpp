@@ -1,0 +1,48 @@
+#include "ppds/common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/rng.hpp"
+
+namespace ppds {
+namespace {
+
+TEST(FixedPoint, EncodeDecodeIdentityOnGrid) {
+  const FixedPoint fp{20};
+  EXPECT_EQ(fp.encode(0.0), 0);
+  EXPECT_EQ(fp.encode(1.0), 1 << 20);
+  EXPECT_EQ(fp.encode(-1.0), -(1 << 20));
+  EXPECT_DOUBLE_EQ(fp.decode(fp.encode(0.5)), 0.5);
+  EXPECT_DOUBLE_EQ(fp.decode(fp.encode(-0.25)), -0.25);
+}
+
+TEST(FixedPoint, RoundingErrorBounded) {
+  const FixedPoint fp{20};
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double back = fp.decode(fp.encode(x));
+    EXPECT_NEAR(back, x, 1.0 / (1 << 20));
+  }
+}
+
+TEST(FixedPoint, MultiFactorDecode) {
+  const FixedPoint fp{10};
+  // A product of two encoded values carries scale 2^20.
+  const std::int64_t a = fp.encode(0.5);
+  const std::int64_t b = fp.encode(0.25);
+  EXPECT_DOUBLE_EQ(fp.decode(a * b, 2), 0.125);
+}
+
+TEST(FixedPoint, OverflowGuard) {
+  const FixedPoint fp{40};
+  EXPECT_THROW(fp.encode(1e10), InvalidArgument);
+}
+
+TEST(FixedPoint, ScaleMatchesFracBits) {
+  EXPECT_EQ(FixedPoint{0}.scale(), 1);
+  EXPECT_EQ(FixedPoint{8}.scale(), 256);
+}
+
+}  // namespace
+}  // namespace ppds

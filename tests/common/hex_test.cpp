@@ -1,0 +1,33 @@
+#include "ppds/common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppds {
+namespace {
+
+TEST(Hex, EncodeKnownBytes) {
+  const std::vector<std::uint8_t> data{0x00, 0xff, 0x12, 0xab};
+  EXPECT_EQ(to_hex(data), "00ff12ab");
+}
+
+TEST(Hex, EmptyRoundTrip) {
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, DecodeUpperAndLowerCase) {
+  EXPECT_EQ(from_hex("DEADbeef"), (std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, RoundTripRandom) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Hex, OddLengthThrows) { EXPECT_THROW(from_hex("abc"), InvalidArgument); }
+
+TEST(Hex, BadDigitThrows) { EXPECT_THROW(from_hex("zz"), InvalidArgument); }
+
+}  // namespace
+}  // namespace ppds

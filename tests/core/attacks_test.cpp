@@ -1,0 +1,88 @@
+#include "ppds/core/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/rng.hpp"
+#include "ppds/math/vec.hpp"
+
+namespace ppds::core {
+namespace {
+
+TEST(Attacks, ExactReconstructionFromTrueDistances) {
+  // Fig. 6: without ra, dim+1 exact decision values give the model away.
+  const math::Vec w{0.8, -0.6};
+  const double b = 0.25;
+  std::vector<math::Vec> samples{{0.1, 0.2}, {-0.5, 0.7}, {0.9, -0.3}};
+  std::vector<double> values;
+  for (const auto& t : samples) values.push_back(math::dot(w, t) + b);
+  const ModelEstimate est = reconstruct_exact(samples, values);
+  EXPECT_NEAR(est.w[0], w[0], 1e-10);
+  EXPECT_NEAR(est.w[1], w[1], 1e-10);
+  EXPECT_NEAR(est.b, b, 1e-10);
+  EXPECT_LT(direction_error_degrees(est.w, w), 1e-6);
+}
+
+TEST(Attacks, ReconstructionNeedsEnoughPoints) {
+  std::vector<math::Vec> samples{{0.1, 0.2}};
+  std::vector<double> values{1.0};
+  EXPECT_THROW(reconstruct_exact(samples, values), InvalidArgument);
+}
+
+TEST(Attacks, LeastSquaresEstimateRecoversUnamplifiedModel) {
+  // Sanity check of the estimator itself: consistent observations are fit.
+  Rng rng(1);
+  const math::Vec w{1.2, -0.4, 0.3};
+  const double b = -0.15;
+  std::vector<math::Vec> samples;
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    math::Vec t{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    values.push_back(math::dot(w, t) + b);
+    samples.push_back(std::move(t));
+  }
+  const ModelEstimate est = estimate_hyperplane(samples, values);
+  EXPECT_LT(direction_error_degrees(est.w, w), 0.1);
+}
+
+TEST(Attacks, AmplificationDefeatsEstimation) {
+  // Fig. 5: with a fresh log-uniform ra per query, the fit rambles. With 50
+  // samples the direction error should remain large while the unamplified
+  // fit is essentially exact.
+  Rng rng(2);
+  const math::Vec w{0.6, 0.8};
+  const double b = 0.1;
+  std::vector<math::Vec> samples;
+  std::vector<double> clean, amplified;
+  for (int i = 0; i < 50; ++i) {
+    math::Vec t{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double d = math::dot(w, t) + b;
+    clean.push_back(d);
+    amplified.push_back(rng.log_uniform_positive() * d);
+    samples.push_back(std::move(t));
+  }
+  const double clean_err =
+      direction_error_degrees(estimate_hyperplane(samples, clean).w, w);
+  const double amp_err =
+      direction_error_degrees(estimate_hyperplane(samples, amplified).w, w);
+  EXPECT_LT(clean_err, 0.1);
+  EXPECT_GT(amp_err, 2.0);
+}
+
+TEST(Attacks, DirectionErrorIsSignInvariant) {
+  const math::Vec w{1.0, 0.0};
+  const math::Vec minus_w{-1.0, 0.0};
+  EXPECT_NEAR(direction_error_degrees(minus_w, w), 0.0, 1e-9);
+}
+
+TEST(Attacks, DirectionErrorOrthogonalIs90) {
+  EXPECT_NEAR(direction_error_degrees({1.0, 0.0}, {0.0, 1.0}), 90.0, 1e-9);
+}
+
+TEST(Attacks, EstimateValidatesInputs) {
+  std::vector<math::Vec> samples{{1.0, 2.0}, {2.0, 1.0}};
+  std::vector<double> values{1.0};
+  EXPECT_THROW(estimate_hyperplane(samples, values), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppds::core

@@ -1,0 +1,96 @@
+#include "ppds/core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/net/party.hpp"
+
+namespace ppds::core {
+namespace {
+
+TEST(SchemeConfig, DefaultsAreSecure) {
+  const SchemeConfig cfg = SchemeConfig::secure_default();
+  EXPECT_EQ(cfg.ot_engine, OtEngine::kNaorPinkas);
+  EXPECT_EQ(cfg.group, crypto::GroupId::kModp1536);
+  EXPECT_EQ(cfg.ompe.backend, ompe::Backend::kReal);
+  EXPECT_EQ(cfg.ompe.q, 8u);
+  EXPECT_EQ(cfg.ompe.k, 3u);
+}
+
+TEST(SchemeConfig, FastSimulationUsesLoopback) {
+  const SchemeConfig cfg = SchemeConfig::fast_simulation();
+  EXPECT_EQ(cfg.ot_engine, OtEngine::kLoopback);
+  EXPECT_LT(cfg.ompe.q, SchemeConfig::secure_default().ompe.q);
+}
+
+TEST(OmpeParams, CostModel) {
+  ompe::OmpeParams params;
+  params.q = 8;
+  params.k = 3;
+  EXPECT_EQ(params.m(1), 9u);    // pq + 1
+  EXPECT_EQ(params.m(3), 25u);
+  EXPECT_EQ(params.big_m(1), 27u);  // m * k
+  EXPECT_EQ(params.big_m(3), 75u);
+}
+
+TEST(OtSlots, FormulaMatchesOtConstruction) {
+  ompe::OmpeParams params;
+  params.q = 4;
+  params.k = 2;
+  // degree 1: m = 5, M = 10, ceil(log2 10) = 4 bits -> 20 slots.
+  EXPECT_EQ(ot_slots_per_query(params, 1), 5u * 4u);
+  // degree 4: m = 17, M = 34, 6 bits -> 102 slots.
+  EXPECT_EQ(ot_slots_per_query(params, 4), 17u * 6u);
+}
+
+TEST(OtBundle, LoopbackReadyImmediately) {
+  Rng rng(1);
+  OtBundle bundle(SchemeConfig::fast_simulation(), rng);
+  EXPECT_NO_THROW(bundle.sender());
+  EXPECT_NO_THROW(bundle.receiver());
+}
+
+TEST(OtBundle, PrecomputedRequiresPrepare) {
+  Rng rng(2);
+  SchemeConfig cfg;
+  cfg.ot_engine = OtEngine::kPrecomputed;
+  OtBundle bundle(cfg, rng);
+  EXPECT_THROW(bundle.sender(), InvalidArgument);
+  EXPECT_THROW(bundle.receiver(), InvalidArgument);
+}
+
+TEST(OtBundle, PrepareIsNoOpForOtherEngines) {
+  Rng rng(3);
+  OtBundle bundle(SchemeConfig::fast_simulation(), rng);
+  auto [a, b] = net::make_channel();
+  EXPECT_NO_THROW(bundle.prepare_sender(a, 100));
+  // No offline traffic was exchanged.
+  EXPECT_EQ(a.stats().messages, 0u);
+}
+
+TEST(OtBundle, PreparedPairTransfers) {
+  SchemeConfig cfg;
+  cfg.ot_engine = OtEngine::kPrecomputed;
+  cfg.group = crypto::GroupId::kModp1024;
+  std::vector<Bytes> msgs{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(4);
+        OtBundle bundle(cfg, rng);
+        bundle.prepare_sender(ch, crypto::PrecomputedOtSender::slots_for(4, 1));
+        bundle.sender().send(ch, msgs, 1);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(5);
+        OtBundle bundle(cfg, rng);
+        bundle.prepare_receiver(ch,
+                                crypto::PrecomputedOtSender::slots_for(4, 1));
+        const std::vector<std::size_t> want{2};
+        return bundle.receiver().receive(ch, want, 4, 2);
+      });
+  ASSERT_EQ(outcome.b.size(), 1u);
+  EXPECT_EQ(outcome.b[0], (Bytes{3, 3}));
+}
+
+}  // namespace
+}  // namespace ppds::core

@@ -1,0 +1,196 @@
+#include "ppds/core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/net/party.hpp"
+
+namespace ppds::core {
+namespace {
+
+svm::SvmModel toy_model() {
+  return svm::SvmModel(svm::Kernel::linear(), {{0.8, -0.6}}, {1.0}, 0.1);
+}
+
+TEST(ProtocolDigest, DeterministicAndParameterSensitive) {
+  const auto profile = ClassificationProfile::make(2, svm::Kernel::linear());
+  const auto cfg = SchemeConfig::fast_simulation();
+  EXPECT_EQ(protocol_digest(profile, cfg), protocol_digest(profile, cfg));
+
+  auto other_cfg = cfg;
+  other_cfg.ompe.q += 1;
+  EXPECT_NE(protocol_digest(profile, cfg), protocol_digest(profile, other_cfg));
+
+  const auto other_profile =
+      ClassificationProfile::make(3, svm::Kernel::linear());
+  EXPECT_NE(protocol_digest(profile, cfg),
+            protocol_digest(other_profile, cfg));
+
+  const auto poly_profile =
+      ClassificationProfile::make(2, svm::Kernel::paper_polynomial(2));
+  EXPECT_NE(protocol_digest(profile, cfg), protocol_digest(poly_profile, cfg));
+}
+
+TEST(Session, AgreedParametersClassifyEndToEnd) {
+  const auto model = toy_model();
+  const auto profile = ClassificationProfile::make(2, model.kernel());
+  const auto cfg = SchemeConfig::fast_simulation();
+  ClassificationServer server(model, profile, cfg);
+  ClassificationClient client(profile, cfg);
+  const std::vector<std::vector<double>> samples{
+      {0.5, 0.1}, {-0.4, 0.9}, {0.2, -0.7}};
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(1);
+        serve_session(server, profile, cfg, ch, rng);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(2);
+        return classify_session(client, profile, cfg, ch, samples, rng);
+      });
+  ASSERT_EQ(outcome.b.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(outcome.b[i], model.predict(samples[i]));
+  }
+}
+
+TEST(Session, ParameterMismatchDeniedOnBothSides) {
+  const auto model = toy_model();
+  const auto profile = ClassificationProfile::make(2, model.kernel());
+  const auto server_cfg = SchemeConfig::fast_simulation();
+  auto client_cfg = server_cfg;
+  client_cfg.ompe.q = server_cfg.ompe.q + 2;  // drifted parameter
+
+  ClassificationServer server(model, profile, server_cfg);
+  ClassificationClient client(profile, client_cfg);
+  const std::vector<std::vector<double>> samples{{0.5, 0.1}};
+  EXPECT_THROW(
+      net::run_two_party(
+          [&](net::Endpoint& ch) {
+            Rng rng(1);
+            serve_session(server, profile, server_cfg, ch, rng);
+            return 0;
+          },
+          [&](net::Endpoint& ch) {
+            Rng rng(2);
+            try {
+              classify_session(client, profile, client_cfg, ch, samples, rng);
+            } catch (const ProtocolError&) {
+              return 1;  // client saw the denial, as designed
+            }
+            return 0;
+          }),
+      ProtocolError);  // the server side also throws
+}
+
+TEST(Session, BadMagicRejected) {
+  const auto model = toy_model();
+  const auto profile = ClassificationProfile::make(2, model.kernel());
+  const auto cfg = SchemeConfig::fast_simulation();
+  ClassificationServer server(model, profile, cfg);
+  EXPECT_THROW(
+      net::run_two_party(
+          [&](net::Endpoint& ch) {
+            Rng rng(1);
+            serve_session(server, profile, cfg, ch, rng);
+            return 0;
+          },
+          [&](net::Endpoint& ch) {
+            ch.send(Bytes{'N', 'O', 'P', 'E'});
+            try {
+              ch.recv();
+            } catch (const ProtocolError&) {
+            }
+            return 0;
+          }),
+      ProtocolError);
+}
+
+TEST(Session, ExcessiveQueryCountRejected) {
+  const auto model = toy_model();
+  const auto profile = ClassificationProfile::make(2, model.kernel());
+  const auto cfg = SchemeConfig::fast_simulation();
+  ClassificationServer server(model, profile, cfg);
+  ClassificationClient client(profile, cfg);
+  const std::vector<std::vector<double>> samples{{0.5, 0.1}, {0.2, 0.2}};
+  EXPECT_THROW(
+      net::run_two_party(
+          [&](net::Endpoint& ch) {
+            Rng rng(1);
+            serve_session(server, profile, cfg, ch, rng, /*max_queries=*/1);
+            return 0;
+          },
+          [&](net::Endpoint& ch) {
+            Rng rng(2);
+            try {
+              classify_session(client, profile, cfg, ch, samples, rng);
+            } catch (const ProtocolError&) {
+            }
+            return 0;
+          }),
+      ProtocolError);
+}
+
+TEST(SimilaritySession, AgreedParametersEvaluate) {
+  const DataSpace space;
+  const auto cfg = SchemeConfig::fast_simulation();
+  const svm::SvmModel a(svm::Kernel::linear(), {{1.0, 0.2}}, {1.0}, 0.1);
+  const svm::SvmModel b(svm::Kernel::linear(), {{0.8, 0.5}}, {1.0}, -0.2);
+  SimilarityServer server(a, space, cfg);
+  SimilarityClient client(b, space, cfg);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(1);
+        serve_similarity_session(server, svm::Kernel::linear(), space, cfg,
+                                 ch, rng);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(2);
+        return evaluate_similarity_session(client, svm::Kernel::linear(),
+                                           space, cfg, ch, rng);
+      });
+  EXPECT_NEAR(outcome.b, ordinary_similarity(a, b, space),
+              1e-6 + 1e-3 * outcome.b);
+}
+
+TEST(SimilaritySession, DataSpaceMismatchDenied) {
+  const DataSpace space_a;
+  DataSpace space_b;
+  space_b.l0 = 1e-2;  // drifted public constant
+  const auto cfg = SchemeConfig::fast_simulation();
+  const svm::SvmModel a(svm::Kernel::linear(), {{1.0, 0.2}}, {1.0}, 0.1);
+  const svm::SvmModel b(svm::Kernel::linear(), {{0.8, 0.5}}, {1.0}, -0.2);
+  SimilarityServer server(a, space_a, cfg);
+  SimilarityClient client(b, space_b, cfg);
+  EXPECT_THROW(
+      net::run_two_party(
+          [&](net::Endpoint& ch) {
+            Rng rng(1);
+            serve_similarity_session(server, svm::Kernel::linear(), space_a,
+                                     cfg, ch, rng);
+            return 0;
+          },
+          [&](net::Endpoint& ch) {
+            Rng rng(2);
+            try {
+              evaluate_similarity_session(client, svm::Kernel::linear(),
+                                          space_b, cfg, ch, rng);
+            } catch (const ProtocolError&) {
+            }
+            return 0.0;
+          }),
+      ProtocolError);
+}
+
+TEST(SimilaritySession, DigestSeparatedFromClassification) {
+  // Same config must hash differently for the two protocols (domain tag).
+  const auto cfg = SchemeConfig::fast_simulation();
+  const auto profile = ClassificationProfile::make(2, svm::Kernel::linear());
+  const DataSpace space;
+  EXPECT_NE(protocol_digest(profile, cfg),
+            similarity_digest(svm::Kernel::linear(), space, cfg));
+}
+
+}  // namespace
+}  // namespace ppds::core

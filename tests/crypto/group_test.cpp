@@ -1,0 +1,90 @@
+#include "ppds/crypto/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppds::crypto {
+namespace {
+
+TEST(DhGroup, ParametersAreSafePrimeShaped) {
+  const DhGroup g(GroupId::kModp1024);
+  EXPECT_EQ(g.p(), g.q() * 2 + 1);
+  EXPECT_EQ(g.element_bytes(), 128u);
+  // g = 4 is a quadratic residue: g^q == 1 (mod p).
+  EXPECT_EQ(g.pow(g.g(), g.q()), mpz_class(1));
+}
+
+TEST(DhGroup, AllThreeGroupsConstruct) {
+  EXPECT_EQ(DhGroup(GroupId::kModp1024).element_bytes(), 128u);
+  EXPECT_EQ(DhGroup(GroupId::kModp1536).element_bytes(), 192u);
+  EXPECT_EQ(DhGroup(GroupId::kModp2048).element_bytes(), 256u);
+}
+
+TEST(DhGroup, DiffieHellmanAgreement) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(1);
+  const mpz_class a = g.random_exponent(rng);
+  const mpz_class b = g.random_exponent(rng);
+  EXPECT_EQ(g.pow(g.pow_g(a), b), g.pow(g.pow_g(b), a));
+}
+
+TEST(DhGroup, InvertIsInverse) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(2);
+  const mpz_class x = g.random_element(rng);
+  EXPECT_EQ(g.mul(x, g.invert(x)), mpz_class(1));
+}
+
+TEST(DhGroup, SerializeRoundTrip) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const mpz_class x = g.random_element(rng);
+    const Bytes bytes = g.serialize(x);
+    EXPECT_EQ(bytes.size(), g.element_bytes());
+    EXPECT_EQ(g.deserialize(bytes), x);
+  }
+}
+
+TEST(DhGroup, SerializeSmallValueIsPadded) {
+  const DhGroup g(GroupId::kModp1024);
+  const Bytes bytes = g.serialize(mpz_class(5));
+  EXPECT_EQ(bytes.size(), g.element_bytes());
+  EXPECT_EQ(bytes[g.element_bytes() - 1], 5);
+  EXPECT_EQ(bytes[0], 0);
+}
+
+TEST(DhGroup, DeserializeRejectsBadLength) {
+  const DhGroup g(GroupId::kModp1024);
+  EXPECT_THROW(g.deserialize(Bytes(10, 1)), CryptoError);
+}
+
+TEST(DhGroup, DeserializeRejectsOutOfRange) {
+  const DhGroup g(GroupId::kModp1024);
+  // All-0xff exceeds p (p starts with 0xFFFFFFFFFFFFFFFFC9...).
+  EXPECT_THROW(g.deserialize(Bytes(g.element_bytes(), 0xff)), CryptoError);
+  // Zero is not a group element either.
+  EXPECT_THROW(g.deserialize(Bytes(g.element_bytes(), 0x00)), CryptoError);
+}
+
+TEST(DhGroup, RandomExponentInRange) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const mpz_class e = g.random_exponent(rng);
+    EXPECT_GE(e, 1);
+    EXPECT_LT(e, g.q());
+  }
+}
+
+TEST(DhGroup, HashToKeyDependsOnElementAndTag) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(5);
+  const mpz_class x = g.random_element(rng);
+  const mpz_class y = g.random_element(rng);
+  EXPECT_EQ(g.hash_to_key(x, 0), g.hash_to_key(x, 0));
+  EXPECT_NE(g.hash_to_key(x, 0), g.hash_to_key(x, 1));
+  EXPECT_NE(g.hash_to_key(x, 0), g.hash_to_key(y, 0));
+}
+
+}  // namespace
+}  // namespace ppds::crypto

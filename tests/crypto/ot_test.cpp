@@ -1,0 +1,297 @@
+#include "ppds/crypto/ot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/net/party.hpp"
+
+namespace ppds::crypto {
+namespace {
+
+const DhGroup& test_group() {
+  static const DhGroup g(GroupId::kModp1024);
+  return g;
+}
+
+std::vector<Bytes> make_messages(std::size_t n, std::size_t len) {
+  std::vector<Bytes> msgs;
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes m(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      m[j] = static_cast<std::uint8_t>(i * 31 + j * 7 + 1);
+    }
+    msgs.push_back(std::move(m));
+  }
+  return msgs;
+}
+
+TEST(NaorPinkasOt, OneOfTwoBothChoices) {
+  for (bool choice : {false, true}) {
+    const Bytes m0{1, 2, 3, 4}, m1{5, 6, 7, 8};
+    auto outcome = net::run_two_party(
+        [&](net::Endpoint& ch) {
+          Rng rng(1);
+          NaorPinkasSender s(test_group(), rng);
+          s.send_1of2(ch, m0, m1);
+          return 0;
+        },
+        [&](net::Endpoint& ch) {
+          Rng rng(2);
+          NaorPinkasReceiver r(test_group(), rng);
+          return r.receive_1of2(ch, choice, 4);
+        });
+    EXPECT_EQ(outcome.b, choice ? m1 : m0) << choice;
+  }
+}
+
+TEST(NaorPinkasOt, UnequalLengthsRejected) {
+  auto [a, b] = net::make_channel();
+  Rng rng(1);
+  NaorPinkasSender s(test_group(), rng);
+  EXPECT_THROW(s.send_1of2(a, Bytes{1}, Bytes{1, 2}), InvalidArgument);
+}
+
+class NaorPinkas1ofN : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NaorPinkas1ofN, EveryIndexRetrievable) {
+  const std::size_t n = GetParam();
+  const auto msgs = make_messages(n, 16);
+  for (std::size_t want = 0; want < n; ++want) {
+    std::vector<std::size_t> indices{want};
+    auto outcome = net::run_two_party(
+        [&](net::Endpoint& ch) {
+          Rng rng(10 + want);
+          NaorPinkasSender s(test_group(), rng);
+          s.send(ch, msgs, 1);
+          return 0;
+        },
+        [&](net::Endpoint& ch) {
+          Rng rng(20 + want);
+          NaorPinkasReceiver r(test_group(), rng);
+          return r.receive(ch, indices, n, 16);
+        });
+    ASSERT_EQ(outcome.b.size(), 1u);
+    EXPECT_EQ(outcome.b[0], msgs[want]) << "n=" << n << " idx=" << want;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NaorPinkas1ofN,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(NaorPinkasOt, KOutOfNRetrievesExactlyRequested) {
+  const std::size_t n = 9, k = 4;
+  const auto msgs = make_messages(n, 8);
+  const std::vector<std::size_t> want{0, 3, 5, 8};
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(1);
+        NaorPinkasSender s(test_group(), rng);
+        s.send(ch, msgs, k);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(2);
+        NaorPinkasReceiver r(test_group(), rng);
+        return r.receive(ch, want, n, 8);
+      });
+  ASSERT_EQ(outcome.b.size(), k);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(outcome.b[i], msgs[want[i]]);
+}
+
+TEST(NaorPinkasOt, IndexOutOfRangeThrows) {
+  const auto msgs = make_messages(4, 8);
+  EXPECT_THROW(
+      net::run_two_party(
+          [&](net::Endpoint& ch) {
+            Rng rng(1);
+            NaorPinkasSender s(test_group(), rng);
+            s.send(ch, msgs, 1);
+            return 0;
+          },
+          [&](net::Endpoint& ch) {
+            Rng rng(2);
+            NaorPinkasReceiver r(test_group(), rng);
+            const std::vector<std::size_t> bad{4};
+            return r.receive(ch, bad, 4, 8);
+          }),
+      Error);
+}
+
+TEST(LoopbackOt, SameInterfaceSameResult) {
+  const std::size_t n = 12, k = 3;
+  const auto msgs = make_messages(n, 24);
+  const std::vector<std::size_t> want{2, 7, 11};
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        LoopbackSender s;
+        s.send(ch, msgs, k);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        LoopbackReceiver r;
+        return r.receive(ch, want, n, 24);
+      });
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(outcome.b[i], msgs[want[i]]);
+}
+
+TEST(LoopbackOt, WireCostIsNTimesLen) {
+  const auto msgs = make_messages(10, 32);
+  const std::vector<std::size_t> want{1};
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        LoopbackSender s;
+        s.send(ch, msgs, 1);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        LoopbackReceiver r;
+        return r.receive(ch, want, 10, 32);
+      });
+  EXPECT_EQ(outcome.a_sent.bytes, 320u);
+}
+
+TEST(PrecomputedOt, OnlinePhaseCorrectForAllChoiceCombos) {
+  // Offline random-pad OTs, then online transfers with both real choices
+  // against both precomputed random choices (the flip logic).
+  const std::size_t count = 8;
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(31);
+        NaorPinkasSender np(test_group(), rng);
+        auto slots = precompute_ot_sender(ch, np, count, 16, rng);
+        for (std::size_t i = 0; i < count; ++i) {
+          Bytes m0(16, static_cast<std::uint8_t>(i));
+          Bytes m1(16, static_cast<std::uint8_t>(100 + i));
+          precomputed_send_1of2(ch, slots[i], m0, m1);
+        }
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(32);
+        NaorPinkasReceiver np(test_group(), rng);
+        auto slots = precompute_ot_receiver(ch, np, count, 16, rng);
+        std::vector<Bytes> got;
+        for (std::size_t i = 0; i < count; ++i) {
+          got.push_back(precomputed_receive_1of2(ch, slots[i], i % 2 == 1));
+        }
+        return got;
+      });
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t expect =
+        (i % 2 == 1) ? static_cast<std::uint8_t>(100 + i)
+                     : static_cast<std::uint8_t>(i);
+    EXPECT_EQ(outcome.b[i], Bytes(16, expect)) << i;
+  }
+}
+
+TEST(PrecomputedOt, OnlineWireCostIsTiny) {
+  // The online phase must not contain any group elements: 1 byte up,
+  // 2*len bytes down per transfer.
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(41);
+        NaorPinkasSender np(test_group(), rng);
+        auto slots = precompute_ot_sender(ch, np, 1, 8, rng);
+        ch.reset_stats();
+        precomputed_send_1of2(ch, slots[0], Bytes(8, 1), Bytes(8, 2));
+        return ch.stats().bytes;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(42);
+        NaorPinkasReceiver np(test_group(), rng);
+        auto slots = precompute_ot_receiver(ch, np, 1, 8, rng);
+        precomputed_receive_1of2(ch, slots[0], true);
+        return 0;
+      });
+  EXPECT_EQ(outcome.a, 16u);
+}
+
+TEST(PrecomputedEngine, KOutOfNMatchesMessages) {
+  const std::size_t n = 12, k = 4;
+  const auto msgs = make_messages(n, 8);
+  const std::vector<std::size_t> want{1, 5, 9, 11};
+  const std::size_t slots = PrecomputedOtSender::slots_for(n, k);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(61);
+        NaorPinkasSender base(test_group(), rng);
+        PrecomputedOtSender s(ch, base, slots, rng);
+        s.send(ch, msgs, k);
+        return s.remaining();
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(62);
+        NaorPinkasReceiver base(test_group(), rng);
+        PrecomputedOtReceiver r(ch, base, slots, rng);
+        return r.receive(ch, want, n, 8);
+      });
+  ASSERT_EQ(outcome.b.size(), k);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(outcome.b[i], msgs[want[i]]);
+  EXPECT_EQ(outcome.a, 0u);  // exactly sized pool fully consumed
+}
+
+TEST(PrecomputedEngine, PoolExhaustionThrows) {
+  const auto msgs = make_messages(4, 8);
+  EXPECT_THROW(
+      net::run_two_party(
+          [&](net::Endpoint& ch) {
+            Rng rng(63);
+            NaorPinkasSender base(test_group(), rng);
+            PrecomputedOtSender s(ch, base, 1, rng);  // too few slots
+            s.send(ch, msgs, 1);                      // needs 2
+            return 0;
+          },
+          [&](net::Endpoint& ch) {
+            Rng rng(64);
+            NaorPinkasReceiver base(test_group(), rng);
+            PrecomputedOtReceiver r(ch, base, 1, rng);
+            const std::vector<std::size_t> want{2};
+            try {
+              r.receive(ch, want, 4, 8);
+            } catch (const Error&) {
+            }
+            return 0;
+          }),
+      ProtocolError);
+}
+
+TEST(PrecomputedEngine, SlotsForFormula) {
+  EXPECT_EQ(index_bits(1), 0u);
+  EXPECT_EQ(index_bits(2), 1u);
+  EXPECT_EQ(index_bits(3), 2u);
+  EXPECT_EQ(index_bits(8), 3u);
+  EXPECT_EQ(index_bits(9), 4u);
+  EXPECT_EQ(PrecomputedOtSender::slots_for(27, 9), 9u * 5u);
+}
+
+TEST(PrecomputedEngine, MultipleTransfersFromOnePool) {
+  const auto msgs = make_messages(6, 16);
+  const std::size_t per = PrecomputedOtSender::slots_for(6, 2);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(65);
+        NaorPinkasSender base(test_group(), rng);
+        PrecomputedOtSender s(ch, base, 3 * per, rng);
+        for (int round = 0; round < 3; ++round) s.send(ch, msgs, 2);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(66);
+        NaorPinkasReceiver base(test_group(), rng);
+        PrecomputedOtReceiver r(ch, base, 3 * per, rng);
+        std::vector<Bytes> all;
+        for (std::size_t round = 0; round < 3; ++round) {
+          const std::vector<std::size_t> want{round, round + 3};
+          auto got = r.receive(ch, want, 6, 16);
+          all.insert(all.end(), got.begin(), got.end());
+        }
+        return all;
+      });
+  ASSERT_EQ(outcome.b.size(), 6u);
+  EXPECT_EQ(outcome.b[0], msgs[0]);
+  EXPECT_EQ(outcome.b[1], msgs[3]);
+  EXPECT_EQ(outcome.b[4], msgs[2]);
+  EXPECT_EQ(outcome.b[5], msgs[5]);
+}
+
+}  // namespace
+}  // namespace ppds::crypto

@@ -1,0 +1,88 @@
+#include "ppds/crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/hex.hpp"
+
+namespace ppds::crypto {
+namespace {
+
+std::string hex_digest(const Digest& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// NIST FIPS 180-4 test vectors.
+TEST(Sha256, EmptyString) {
+  Sha256 h;
+  EXPECT_EQ(hex_digest(h.finish()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  Sha256 h;
+  h.update(std::string("abc"));
+  EXPECT_EQ(hex_digest(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  Sha256 h;
+  h.update(std::string("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  EXPECT_EQ(hex_digest(h.finish()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_digest(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "the quick brown fox jumps over the lazy dog, repeatedly and at length";
+  Sha256 one;
+  one.update(msg);
+  const Digest expect = one.finish();
+  // Feed in awkward chunk sizes crossing block boundaries.
+  for (std::size_t chunk : {1u, 7u, 63u, 64u, 65u}) {
+    Sha256 h;
+    for (std::size_t pos = 0; pos < msg.size(); pos += chunk) {
+      h.update(msg.substr(pos, chunk));
+    }
+    EXPECT_EQ(h.finish(), expect) << chunk;
+  }
+}
+
+TEST(Sha256, ResetRestoresInitialState) {
+  Sha256 h;
+  h.update(std::string("garbage"));
+  h.finish();
+  h.reset();
+  h.update(std::string("abc"));
+  EXPECT_EQ(hex_digest(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, OneShotHelper) {
+  const Bytes data{'a', 'b', 'c'};
+  EXPECT_EQ(hex_digest(sha256(data)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TaggedHashIsUnambiguous) {
+  // ("ab","c") and ("a","bc") must hash differently (length prefixes).
+  const std::vector<Bytes> split1{{'a', 'b'}, {'c'}};
+  const std::vector<Bytes> split2{{'a'}, {'b', 'c'}};
+  EXPECT_NE(sha256_tagged(split1), sha256_tagged(split2));
+}
+
+TEST(Sha256, TaggedHashDeterministic) {
+  const std::vector<Bytes> parts{{1, 2, 3}, {4, 5}};
+  EXPECT_EQ(sha256_tagged(parts), sha256_tagged(parts));
+}
+
+}  // namespace
+}  // namespace ppds::crypto

@@ -1,0 +1,117 @@
+#include "ppds/data/kstest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppds/common/rng.hpp"
+
+namespace ppds::data {
+namespace {
+
+TEST(KsTest, IdenticalSamplesGiveZero) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+}
+
+TEST(KsTest, DisjointSupportsGiveOne) {
+  EXPECT_DOUBLE_EQ(ks_statistic({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(KsTest, KnownSmallExample) {
+  // F1 jumps at {1,3}, F2 at {2,4}: max gap is 0.5 after the first point.
+  EXPECT_DOUBLE_EQ(ks_statistic({1, 3}, {2, 4}), 0.5);
+}
+
+TEST(KsTest, SymmetricInArguments) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) a.push_back(rng.normal());
+  for (int i = 0; i < 150; ++i) b.push_back(rng.normal(0.5));
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), ks_statistic(b, a));
+}
+
+TEST(KsTest, StatisticInUnitInterval) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 50; ++i) a.push_back(rng.uniform(-1, 1));
+    for (int i = 0; i < 50; ++i) b.push_back(rng.normal(0, 0.5));
+    const double d = ks_statistic(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(KsTest, SameDistributionGivesSmallStatistic) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) a.push_back(rng.normal());
+  for (int i = 0; i < 2000; ++i) b.push_back(rng.normal());
+  EXPECT_LT(ks_statistic(a, b), 0.06);
+}
+
+TEST(KsTest, ShiftedDistributionDetected) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) a.push_back(rng.normal(0.0));
+  for (int i = 0; i < 500; ++i) b.push_back(rng.normal(1.0));
+  EXPECT_GT(ks_statistic(a, b), 0.3);
+}
+
+TEST(KsTest, MonotoneInShift) {
+  Rng rng(5);
+  std::vector<double> base;
+  for (int i = 0; i < 800; ++i) base.push_back(rng.normal());
+  double prev = 0.0;
+  for (double shift : {0.2, 0.6, 1.2, 2.4}) {
+    std::vector<double> shifted;
+    for (double v : base) shifted.push_back(v + shift);
+    const double d = ks_statistic(base, shifted);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(KsTest, NormalizedScaleMatchesTable2Magnitudes) {
+  // Table II reports values in the units D * sqrt(n*m/(n+m)); for two
+  // 192-sample subsets the factor is sqrt(96) ~ 9.8, so values land in the
+  // 1.5 - 8.5 range the paper prints.
+  std::vector<double> a, b;
+  Rng rng(6);
+  for (int i = 0; i < 192; ++i) a.push_back(rng.normal(0.0));
+  for (int i = 0; i < 192; ++i) b.push_back(rng.normal(2.0));
+  const double normalized = ks_statistic_normalized(a, b);
+  EXPECT_GT(normalized, 4.0);
+  EXPECT_LT(normalized, 9.9);
+}
+
+TEST(KsTest, EmptySampleThrows) {
+  EXPECT_THROW(ks_statistic({}, {1.0}), InvalidArgument);
+}
+
+TEST(KsTest, CompareDatasetsAveragesOverDimensions) {
+  svm::Dataset a, b;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    a.push({rng.normal(0.0), rng.normal(0.0)}, 1);
+    b.push({rng.normal(0.0), rng.normal(3.0)}, 1);
+  }
+  const KsComparison cmp = ks_compare(a, b);
+  ASSERT_EQ(cmp.per_dimension_d.size(), 2u);
+  EXPECT_LT(cmp.per_dimension_d[0], 0.15);  // same marginal
+  EXPECT_GT(cmp.per_dimension_d[1], 0.8);   // shifted marginal
+  EXPECT_NEAR(cmp.average_d,
+              (cmp.per_dimension_d[0] + cmp.per_dimension_d[1]) / 2.0, 1e-12);
+  EXPECT_GT(cmp.average_normalized, cmp.average_d);
+}
+
+TEST(KsTest, CompareRejectsDimensionMismatch) {
+  svm::Dataset a, b;
+  a.push({1.0, 2.0}, 1);
+  b.push({1.0}, 1);
+  EXPECT_THROW(ks_compare(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppds::data

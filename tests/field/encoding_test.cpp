@@ -1,0 +1,63 @@
+#include "ppds/field/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/rng.hpp"
+
+namespace ppds::field {
+namespace {
+
+TEST(FieldEncoding, RoundTrip) {
+  const FixedPoint fp{20};
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    EXPECT_NEAR(decode(fp, encode(fp, x)), x, 1.0 / (1 << 20));
+  }
+}
+
+TEST(FieldEncoding, NegativeValuesUseUpperHalf) {
+  const FixedPoint fp{10};
+  const M61 neg = encode(fp, -0.5);
+  EXPECT_GT(neg.value(), M61::kP / 2);
+  EXPECT_EQ(sign_of(neg), -1);
+  EXPECT_EQ(sign_of(encode(fp, 0.5)), 1);
+  EXPECT_EQ(sign_of(encode(fp, 0.0)), 0);
+}
+
+TEST(FieldEncoding, ProductCarriesAccumulatedScale) {
+  const FixedPoint fp{12};
+  const M61 a = encode(fp, 0.5);
+  const M61 b = encode(fp, -0.75);
+  EXPECT_NEAR(decode(fp, a * b, 2), -0.375, 1e-3);
+}
+
+TEST(FieldEncoding, DotProductInField) {
+  // The linear decision function in field form: sum w_i t_i carries scale 2.
+  const FixedPoint fp{16};
+  const std::vector<double> w{0.3, -0.8, 0.1};
+  const std::vector<double> t{-0.5, 0.25, 0.9};
+  const auto we = encode_vec(fp, w);
+  const auto te = encode_vec(fp, t);
+  M61 acc;
+  for (std::size_t i = 0; i < w.size(); ++i) acc = acc + we[i] * te[i];
+  double expect = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) expect += w[i] * t[i];
+  EXPECT_NEAR(decode(fp, acc, 2), expect, 1e-3);
+}
+
+TEST(FieldEncoding, SignSurvivesAmplification) {
+  // The protocol's key invariant: sign(decode(ra * d)) == sign(d) for any
+  // positive integer amplifier that stays within the field headroom.
+  const FixedPoint fp{20};
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.uniform_nonzero(-4.0, 4.0);
+    const std::uint64_t ra = rng.uniform_u64(1, 1 << 16);
+    const M61 amplified = encode(fp, d) * M61(ra);
+    EXPECT_EQ(sign_of(amplified), d > 0 ? 1 : -1) << d << " " << ra;
+  }
+}
+
+}  // namespace
+}  // namespace ppds::field

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "ppds/common/rng.hpp"
+#include "ppds/svm/model.hpp"
+
+/// Serialization robustness: arbitrary byte-level corruption of persisted
+/// artifacts must surface as ppds exceptions, never as crashes or silently
+/// wrong models.
+
+namespace ppds {
+namespace {
+
+svm::SvmModel reference_model() {
+  return svm::SvmModel(svm::Kernel::paper_polynomial(3),
+                       {{0.1, -0.2, 0.3}, {0.5, 0.4, -0.6}}, {1.5, -0.75},
+                       0.125);
+}
+
+class ModelBytesFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelBytesFuzz, TruncationAlwaysThrows) {
+  const Bytes bytes = reference_model().serialize();
+  Rng rng(100 + GetParam());
+  const std::size_t cut = rng.uniform_u64(0, bytes.size() - 1);
+  Bytes truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+  EXPECT_THROW(svm::SvmModel::deserialize(truncated), Error);
+}
+
+TEST_P(ModelBytesFuzz, BitFlipsThrowOrProduceWellFormedModel) {
+  const Bytes bytes = reference_model().serialize();
+  Rng rng(200 + GetParam());
+  Bytes mutated = bytes;
+  mutated[rng.uniform_u64(0, mutated.size() - 1)] ^=
+      static_cast<std::uint8_t>(1 << rng.uniform_u64(0, 7));
+  try {
+    const svm::SvmModel model = svm::SvmModel::deserialize(mutated);
+    // If deserialization succeeded, the object must be internally
+    // consistent (no crash on use).
+    const math::Vec t{0.3, -0.3, 0.3};
+    (void)model.decision_value(t);
+    EXPECT_EQ(model.dim(), 3u);
+  } catch (const Error&) {
+    // rejection is equally acceptable
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, ModelBytesFuzz, ::testing::Range(0, 16));
+
+TEST(ModelBytes, EmptyInputThrows) {
+  EXPECT_THROW(svm::SvmModel::deserialize(Bytes{}), Error);
+}
+
+TEST(ModelBytes, HugeCountsRejectedWithoutAllocation) {
+  // A forged header claiming 2^60 support vectors must fail on the byte
+  // bounds check rather than attempting the allocation.
+  ByteWriter w;
+  reference_model().kernel().serialize(w);
+  w.f64(0.0);
+  w.u64(std::uint64_t{1} << 60);  // sv count
+  w.u64(3);                       // dim
+  const Bytes forged = w.take();
+  EXPECT_THROW(svm::SvmModel::deserialize(forged), Error);
+}
+
+}  // namespace
+}  // namespace ppds

@@ -1,0 +1,117 @@
+#include "ppds/math/interpolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/rng.hpp"
+#include "ppds/field/m61.hpp"
+#include "ppds/math/poly.hpp"
+
+namespace ppds::math {
+namespace {
+
+using field::M61;
+
+TEST(Interpolate, LagrangeAtZeroRecoversConstantTerm) {
+  // B(v) = 4 - 2v + v^3
+  Poly<double> b({4.0, -2.0, 0.0, 1.0});
+  std::vector<double> xs{0.5, -0.7, 1.2, -1.4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(b(x));
+  EXPECT_NEAR(lagrange_at_zero<double>(xs, ys), 4.0, 1e-12);
+}
+
+TEST(Interpolate, SinglePoint) {
+  std::vector<double> xs{2.0}, ys{9.0};
+  EXPECT_DOUBLE_EQ(lagrange_at_zero<double>(xs, ys), 9.0);
+}
+
+TEST(Interpolate, EmptyThrows) {
+  std::vector<double> xs, ys;
+  EXPECT_THROW(lagrange_at_zero<double>(xs, ys), InvalidArgument);
+}
+
+TEST(Interpolate, CoefficientReconstruction) {
+  Poly<double> b({1.0, 0.0, -3.0, 2.0});
+  std::vector<double> xs{0.3, -0.8, 1.1, -1.3};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(b(x));
+  const auto coeffs = lagrange_coefficients<double>(xs, ys);
+  ASSERT_EQ(coeffs.size(), 4u);
+  EXPECT_NEAR(coeffs[0], 1.0, 1e-10);
+  EXPECT_NEAR(coeffs[1], 0.0, 1e-10);
+  EXPECT_NEAR(coeffs[2], -3.0, 1e-10);
+  EXPECT_NEAR(coeffs[3], 2.0, 1e-10);
+}
+
+class InterpolateDegree : public ::testing::TestWithParam<int> {};
+
+// Property: for random polynomials of growing degree, interpolation through
+// degree+1 spread nodes recovers B(0) with small relative error in long
+// double — this is exactly the receiver's final OMPE step.
+TEST_P(InterpolateDegree, RandomPolynomialRoundTrip) {
+  const int degree = GetParam();
+  Rng rng(100 + degree);
+  const auto b = random_poly<long double>(rng, degree, 7.5L);
+  std::vector<long double> xs, ys;
+  // Well-separated nodes on both sides of zero.
+  for (int i = 0; i <= degree; ++i) {
+    const long double slot =
+        0.3L + 1.2L * static_cast<long double>(i / 2) /
+                   static_cast<long double>(degree / 2 + 1);
+    xs.push_back(i % 2 == 0 ? slot : -slot);
+    ys.push_back(b(xs.back()));
+  }
+  const long double got = lagrange_at_zero<long double>(xs, ys);
+  EXPECT_NEAR(static_cast<double>(got), 7.5, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, InterpolateDegree,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 24, 32));
+
+TEST(Interpolate, ExactOverM61) {
+  // Exact field arithmetic: no conditioning concerns at any degree.
+  Rng rng(7);
+  std::vector<M61> coeffs;
+  for (int i = 0; i < 33; ++i) coeffs.push_back(M61(rng() >> 3));
+  Poly<M61> b(coeffs);
+  std::vector<M61> xs, ys;
+  for (int i = 1; i <= 33; ++i) {
+    xs.push_back(M61(static_cast<std::uint64_t>(i) * 0x9e3779b9 + 1));
+    ys.push_back(b(xs.back()));
+  }
+  EXPECT_EQ(lagrange_at_zero<M61>(xs, ys), coeffs[0]);
+}
+
+TEST(Interpolate, CoefficientsOverM61) {
+  Poly<M61> b({M61(11), M61(22), M61(33)});
+  std::vector<M61> xs{M61(1), M61(2), M61(3)};
+  std::vector<M61> ys{b(xs[0]), b(xs[1]), b(xs[2])};
+  const auto coeffs = lagrange_coefficients<M61>(xs, ys);
+  ASSERT_EQ(coeffs.size(), 3u);
+  EXPECT_EQ(coeffs[0].value(), 11u);
+  EXPECT_EQ(coeffs[1].value(), 22u);
+  EXPECT_EQ(coeffs[2].value(), 33u);
+}
+
+// The masking property the protocol relies on: B = h + P(G(v)) interpolated
+// from m points reveals B's coefficients, which are h-shifted — a fresh h
+// makes the non-constant coefficients useless to the receiver.
+TEST(Interpolate, MaskedCoefficientsDifferAcrossRuns) {
+  Rng rng(9);
+  Poly<double> secret({2.0, 5.0});  // degree-1 "decision function"
+  for (int run = 0; run < 3; ++run) {
+    const auto h = random_poly<double>(rng, 4, 0.0, 64.0);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 5; ++i) {
+      xs.push_back(0.4 + 0.2 * i);
+      ys.push_back(h(xs.back()) + secret(xs.back()));
+    }
+    const auto coeffs = lagrange_coefficients<double>(xs, ys);
+    // Constant term is exact; higher coefficients are masked by h.
+    EXPECT_NEAR(coeffs[0], 2.0, 1e-8);
+    EXPECT_GT(std::abs(coeffs[2]), 1e-3);  // pure-h coefficient, nonzero
+  }
+}
+
+}  // namespace
+}  // namespace ppds::math

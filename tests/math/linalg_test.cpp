@@ -1,0 +1,114 @@
+#include "ppds/math/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/rng.hpp"
+
+namespace ppds::math {
+namespace {
+
+TEST(Linalg, Solve2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto x = solve(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, SolveNeedsPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = solve(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linalg, SolveSingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(solve(a, {1, 2}), InvalidArgument);
+}
+
+TEST(Linalg, SolveRandomSystemsRoundTrip) {
+  Rng rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + trial % 8;
+    Matrix a(n, n);
+    std::vector<double> truth(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      truth[i] = rng.uniform(-2, 2);
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+      a(i, i) += 3.0;  // diagonally dominant => well-conditioned
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * truth[j];
+    }
+    const auto x = solve(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-9);
+  }
+}
+
+TEST(Linalg, LeastSquaresExactOnConsistentSystem) {
+  // Overdetermined but consistent: recovers the generator exactly.
+  Rng rng(12);
+  const std::size_t m = 30, n = 4;
+  Matrix a(m, n);
+  std::vector<double> truth{0.5, -1.5, 2.0, 0.25};
+  std::vector<double> b(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1, 1);
+      b[i] += a(i, j) * truth[j];
+    }
+  }
+  const auto x = least_squares(a, b);
+  for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(x[j], truth[j], 1e-6);
+}
+
+TEST(Linalg, LeastSquaresMinimizesResidual) {
+  // Perturbed system: the LS solution must beat the unperturbed generator.
+  Rng rng(13);
+  const std::size_t m = 50, n = 3;
+  Matrix a(m, n);
+  std::vector<double> truth{1.0, -2.0, 0.5};
+  std::vector<double> b(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1, 1);
+      b[i] += a(i, j) * truth[j];
+    }
+    b[i] += rng.normal(0.0, 0.1);
+  }
+  const auto x = least_squares(a, b);
+  auto residual = [&](const std::vector<double>& w) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      double r = b[i];
+      for (std::size_t j = 0; j < n; ++j) r -= a(i, j) * w[j];
+      acc += r * r;
+    }
+    return acc;
+  };
+  EXPECT_LE(residual(x), residual(truth) + 1e-9);
+}
+
+TEST(Linalg, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW(solve(a, {1.0}), InvalidArgument);
+  Matrix b(2, 3);
+  EXPECT_THROW(least_squares(b, {1.0, 2.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppds::math

@@ -1,0 +1,110 @@
+#include "ppds/math/monomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ppds/common/rng.hpp"
+#include "ppds/math/vec.hpp"
+
+namespace ppds::math {
+namespace {
+
+TEST(Monomial, CountMatchesClosedForm) {
+  EXPECT_EQ(monomial_count(1, 5), 1u);
+  EXPECT_EQ(monomial_count(2, 3), 4u);    // C(4,3)
+  EXPECT_EQ(monomial_count(8, 3), 120u);  // C(10,3) — the diabetes expansion
+  EXPECT_EQ(monomial_count(123, 3), 317750u);  // the a1a..a9a expansion
+  EXPECT_EQ(monomial_count(60, 3), 37820u);    // splice
+}
+
+TEST(Monomial, CountDegreeZero) { EXPECT_EQ(monomial_count(5, 0), 1u); }
+
+TEST(Monomial, EnumerationMatchesCount) {
+  for (std::size_t n : {1u, 2u, 3u, 5u}) {
+    for (unsigned p : {1u, 2u, 3u, 4u}) {
+      const auto monos = monomials_of_degree(n, p);
+      EXPECT_EQ(monos.size(), monomial_count(n, p)) << n << " " << p;
+    }
+  }
+}
+
+TEST(Monomial, EnumerationExponentsSumToP) {
+  const auto monos = monomials_of_degree(4, 3);
+  std::set<Exponents> unique;
+  for (const Exponents& e : monos) {
+    ASSERT_EQ(e.size(), 4u);
+    unsigned total = 0;
+    for (unsigned k : e) total += k;
+    EXPECT_EQ(total, 3u);
+    unique.insert(e);
+  }
+  EXPECT_EQ(unique.size(), monos.size());  // no duplicates
+}
+
+TEST(Monomial, EnumerationDeterministicOrder) {
+  // Both protocol parties must agree on the order.
+  const auto a = monomials_of_degree(6, 3);
+  const auto b = monomials_of_degree(6, 3);
+  EXPECT_EQ(a, b);
+  // First entry is t_0^p in reverse-lex order.
+  EXPECT_EQ(a.front(), (Exponents{3, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(a.back(), (Exponents{0, 0, 0, 0, 0, 3}));
+}
+
+TEST(Monomial, TooLargeExpansionRejected) {
+  EXPECT_THROW(monomials_of_degree(500, 3), InvalidArgument);
+}
+
+TEST(Monomial, MultinomialCoefficients) {
+  EXPECT_DOUBLE_EQ(multinomial_coefficient({3, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(multinomial_coefficient({2, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(multinomial_coefficient({1, 1, 1}), 6.0);
+  EXPECT_DOUBLE_EQ(multinomial_coefficient({2, 2}), 6.0);   // 4!/(2!2!)
+  EXPECT_DOUBLE_EQ(multinomial_coefficient({1, 2, 3}), 60.0);  // 6!/(1!2!3!)
+}
+
+TEST(Monomial, MultinomialTheoremHolds) {
+  // sum over monomials of multinom(k) * prod x_i^{k_i} == (sum x_i)^p
+  const std::vector<double> x{0.3, -0.7, 1.2};
+  for (unsigned p : {2u, 3u, 4u}) {
+    const auto monos = monomials_of_degree(x.size(), p);
+    const auto tau = monomial_transform(monos, x);
+    double total = 0.0;
+    for (std::size_t j = 0; j < monos.size(); ++j) {
+      total += multinomial_coefficient(monos[j]) * tau[j];
+    }
+    const double direct = std::pow(x[0] + x[1] + x[2], static_cast<double>(p));
+    EXPECT_NEAR(total, direct, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(Monomial, DotPowerIdentity) {
+  // The identity the nonlinear scheme rests on (Section IV-B):
+  // (x . t)^p == sum_kappa multinom(kappa) prod x^kappa prod t^kappa.
+  Rng rng(5);
+  const std::size_t n = 5;
+  const unsigned p = 3;
+  const auto monos = monomials_of_degree(n, p);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(n), t(n);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : t) v = rng.uniform(-1.0, 1.0);
+    const auto taux = monomial_transform(monos, x);
+    const auto taut = monomial_transform(monos, t);
+    double expanded = 0.0;
+    for (std::size_t j = 0; j < monos.size(); ++j) {
+      expanded += multinomial_coefficient(monos[j]) * taux[j] * taut[j];
+    }
+    EXPECT_NEAR(expanded, std::pow(dot(x, t), 3.0), 1e-12);
+  }
+}
+
+TEST(Monomial, TransformDimensionMismatchThrows) {
+  const auto monos = monomials_of_degree(3, 2);
+  EXPECT_THROW(monomial_transform(monos, {1.0, 2.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppds::math

@@ -1,0 +1,124 @@
+#include "ppds/math/multipoly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/rng.hpp"
+
+namespace ppds::math {
+namespace {
+
+TEST(MultiPoly, AffineEvaluation) {
+  const auto p = MultiPoly::affine({2.0, -1.0, 0.5}, 3.0);
+  EXPECT_DOUBLE_EQ(p.evaluate({1.0, 1.0, 2.0}), 2.0 - 1.0 + 1.0 + 3.0);
+  EXPECT_EQ(p.total_degree(), 1u);
+  EXPECT_EQ(p.arity(), 3u);
+}
+
+TEST(MultiPoly, AffineSkipsZeroWeights) {
+  const auto p = MultiPoly::affine({0.0, 5.0}, 0.0);
+  EXPECT_EQ(p.terms().size(), 2u);  // one linear term + constant
+}
+
+TEST(MultiPoly, AddConstantMergesIntoExistingConstant) {
+  MultiPoly p(2);
+  p.add_constant(1.0);
+  p.add_constant(2.0);
+  EXPECT_EQ(p.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.evaluate({0.0, 0.0}), 3.0);
+}
+
+TEST(MultiPoly, ScaleIsTheAmplificationStep) {
+  auto p = MultiPoly::affine({1.0, 1.0}, -0.5);
+  const double before = p.evaluate({0.3, 0.4});
+  p.scale(7.0);
+  EXPECT_DOUBLE_EQ(p.evaluate({0.3, 0.4}), 7.0 * before);
+}
+
+TEST(MultiPoly, HigherDegreeTerms) {
+  MultiPoly p(2);
+  p.add_term(3.0, {2, 1});  // 3 x^2 y
+  p.add_term(-1.0, {0, 3}); // -y^3
+  EXPECT_EQ(p.total_degree(), 3u);
+  EXPECT_DOUBLE_EQ(p.evaluate({2.0, 3.0}), 3.0 * 4 * 3 - 27.0);
+}
+
+TEST(MultiPoly, ArityMismatchThrows) {
+  MultiPoly p(2);
+  EXPECT_THROW(p.add_term(1.0, {1}), InvalidArgument);
+  p.add_term(1.0, {1, 0});
+  EXPECT_THROW(p.evaluate({1.0}), InvalidArgument);
+}
+
+TEST(MultiPoly, CompactMergesLikeTerms) {
+  MultiPoly p(1);
+  p.add_term(2.0, {1});
+  p.add_term(3.0, {1});
+  p.compact();
+  EXPECT_EQ(p.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.evaluate({1.0}), 5.0);
+}
+
+TEST(MultiPoly, CompactDropsCancelledTerms) {
+  MultiPoly p(1);
+  p.add_term(2.0, {1});
+  p.add_term(-2.0, {1});
+  p.compact();
+  // Never empty: a zero constant placeholder remains.
+  ASSERT_EQ(p.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.evaluate({5.0}), 0.0);
+}
+
+TEST(MultiPoly, MulMatchesPointwiseProduct) {
+  Rng rng(3);
+  MultiPoly a(2), b(2);
+  a.add_term(1.5, {1, 0});
+  a.add_constant(-0.5);
+  b.add_term(2.0, {0, 1});
+  b.add_term(1.0, {1, 1});
+  const MultiPoly c = MultiPoly::mul(a, b, 8);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    EXPECT_NEAR(c.evaluate(x), a.evaluate(x) * b.evaluate(x), 1e-12);
+  }
+}
+
+TEST(MultiPoly, MulTruncatesAboveMaxDegree) {
+  MultiPoly a(1), b(1);
+  a.add_term(1.0, {2});
+  b.add_term(1.0, {2});
+  const MultiPoly c = MultiPoly::mul(a, b, 3);  // x^4 dropped
+  EXPECT_DOUBLE_EQ(c.evaluate({2.0}), 0.0);
+}
+
+TEST(MultiPoly, PowMatchesRepeatedMul) {
+  MultiPoly a(2);
+  a.add_term(1.0, {1, 0});
+  a.add_term(-2.0, {0, 1});
+  a.add_constant(0.5);
+  const MultiPoly p3 = MultiPoly::pow(a, 3, 3);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double base = a.evaluate(x);
+    EXPECT_NEAR(p3.evaluate(x), base * base * base, 1e-12);
+  }
+}
+
+TEST(MultiPoly, PowZeroIsOne) {
+  MultiPoly a(1);
+  a.add_term(4.0, {1});
+  const MultiPoly one = MultiPoly::pow(a, 0, 5);
+  EXPECT_DOUBLE_EQ(one.evaluate({123.0}), 1.0);
+}
+
+TEST(MultiPoly, AdditionOperator) {
+  MultiPoly a(1), b(1);
+  a.add_term(1.0, {1});
+  b.add_term(2.0, {1});
+  b.add_constant(3.0);
+  const MultiPoly c = a + b;
+  EXPECT_DOUBLE_EQ(c.evaluate({2.0}), 2.0 + 4.0 + 3.0);
+}
+
+}  // namespace
+}  // namespace ppds::math

@@ -1,0 +1,73 @@
+#include "ppds/math/poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/field/m61.hpp"
+
+namespace ppds::math {
+namespace {
+
+TEST(Poly, EvaluateHorner) {
+  // 2 + 3x + x^2
+  Poly<double> p({2.0, 3.0, 1.0});
+  EXPECT_DOUBLE_EQ(p(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(p(-2.0), 0.0);
+}
+
+TEST(Poly, EmptyPolyIsZero) {
+  Poly<double> p;
+  EXPECT_DOUBLE_EQ(p(3.0), 0.0);
+  EXPECT_EQ(p.degree(), 0u);
+}
+
+TEST(Poly, ConstantTerm) {
+  Poly<double> p({7.5, 1.0});
+  EXPECT_DOUBLE_EQ(p.constant_term(), 7.5);
+}
+
+TEST(Poly, Addition) {
+  Poly<double> a({1.0, 2.0});
+  Poly<double> b({0.0, 1.0, 5.0});
+  const Poly<double> c = a + b;
+  EXPECT_EQ(c.degree(), 2u);
+  EXPECT_DOUBLE_EQ(c(2.0), 1.0 + 2.0 * 2 + 2.0 + 5.0 * 4);
+}
+
+TEST(Poly, ScalarMultiply) {
+  Poly<double> a({1.0, -1.0});
+  const Poly<double> b = a * 3.0;
+  EXPECT_DOUBLE_EQ(b(2.0), 3.0 * (1.0 - 2.0));
+}
+
+TEST(Poly, RandomPolyHasRequestedShape) {
+  Rng rng(1);
+  const auto p = random_poly<double>(rng, 7, 0.25);
+  EXPECT_EQ(p.degree(), 7u);
+  EXPECT_DOUBLE_EQ(p(0.0), 0.25);
+  // Coefficients bounded away from zero by construction.
+  for (std::size_t i = 1; i < p.coeffs().size(); ++i) {
+    EXPECT_GT(std::abs(p.coeffs()[i]), 1e-3);
+    EXPECT_LE(std::abs(p.coeffs()[i]), 1.0);
+  }
+}
+
+TEST(Poly, RandomPolyZeroConstantIsTheMaskingShape) {
+  // The paper's h(u) requires h(0) = 0.
+  Rng rng(2);
+  const auto h = random_poly<double>(rng, 12, 0.0);
+  EXPECT_DOUBLE_EQ(h(0.0), 0.0);
+  EXPECT_NE(h(1.0), 0.0);
+}
+
+TEST(Poly, WorksOverM61) {
+  using field::M61;
+  Poly<M61> p({M61(5), M61(3)});  // 5 + 3x
+  EXPECT_EQ(p(M61(2)).value(), 11u);
+  // Wrap-around at the modulus.
+  Poly<M61> q({M61(M61::kP - 1), M61(1)});
+  EXPECT_EQ(q(M61(1)).value(), 0u);
+}
+
+}  // namespace
+}  // namespace ppds::math

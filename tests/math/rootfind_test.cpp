@@ -1,0 +1,42 @@
+#include "ppds/math/rootfind.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppds::math {
+namespace {
+
+TEST(Rootfind, LinearRoot) {
+  const auto r = bisect([](double x) { return 2.0 * x - 1.0; }, 0.0, 1.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 0.5, 1e-9);
+}
+
+TEST(Rootfind, NoSignChangeReturnsNullopt) {
+  EXPECT_FALSE(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0).has_value());
+}
+
+TEST(Rootfind, EndpointRoots) {
+  const auto lo = bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(lo.has_value());
+  EXPECT_DOUBLE_EQ(*lo, 0.0);
+  const auto hi = bisect([](double x) { return x - 1.0; }, 0.0, 1.0);
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_DOUBLE_EQ(*hi, 1.0);
+}
+
+TEST(Rootfind, TranscendentalRoot) {
+  const auto r = bisect([](double x) { return std::cos(x); }, 0.0, 3.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, M_PI / 2.0, 1e-8);
+}
+
+TEST(Rootfind, DecreasingFunction) {
+  const auto r = bisect([](double x) { return 1.0 - x * x * x; }, -2.0, 2.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace ppds::math

@@ -1,0 +1,54 @@
+#include "ppds/math/taylor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppds::math {
+namespace {
+
+TEST(Taylor, ExpCoefficients) {
+  const auto c = exp_taylor(4);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.5);
+  EXPECT_DOUBLE_EQ(c[3], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(c[4], 1.0 / 24.0);
+}
+
+TEST(Taylor, ExpApproximationConverges) {
+  for (double x : {-0.5, 0.0, 0.3, 1.0}) {
+    EXPECT_NEAR(eval_taylor(exp_taylor(12), x), std::exp(x), 1e-8) << x;
+  }
+}
+
+TEST(Taylor, TanhOddSeries) {
+  const auto c = tanh_taylor(9);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+  EXPECT_DOUBLE_EQ(c[3], -1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c[5], 2.0 / 15.0);
+}
+
+TEST(Taylor, TanhApproximationInsideRadius) {
+  // Series converges for |x| < pi/2; check a comfortable sub-range.
+  for (double x : {-0.6, -0.2, 0.0, 0.4, 0.7}) {
+    EXPECT_NEAR(eval_taylor(tanh_taylor(13), x), std::tanh(x), 2e-4) << x;
+  }
+}
+
+TEST(Taylor, EvalEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(eval_taylor({}, 3.0), 0.0);
+}
+
+TEST(Taylor, TruncationErrorShrinksWithOrder) {
+  const double x = 0.8;
+  const double e4 = std::abs(eval_taylor(exp_taylor(4), x) - std::exp(x));
+  const double e8 = std::abs(eval_taylor(exp_taylor(8), x) - std::exp(x));
+  EXPECT_LT(e8, e4);
+}
+
+}  // namespace
+}  // namespace ppds::math

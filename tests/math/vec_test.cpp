@@ -1,0 +1,74 @@
+#include "ppds/math/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppds::math {
+namespace {
+
+TEST(Vec, DotBasic) {
+  EXPECT_DOUBLE_EQ(dot(Vec{1, 2, 3}, Vec{4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(dot(Vec{}, Vec{}), 0.0);
+}
+
+TEST(Vec, DotDimensionMismatchThrows) {
+  EXPECT_THROW(dot(Vec{1, 2}, Vec{1}), InvalidArgument);
+}
+
+TEST(Vec, Norms) {
+  EXPECT_DOUBLE_EQ(norm2(Vec{3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(norm(Vec{3, 4}), 5.0);
+}
+
+TEST(Vec, Dist2) {
+  EXPECT_DOUBLE_EQ(dist2(Vec{1, 1}, Vec{4, 5}), 25.0);
+  EXPECT_DOUBLE_EQ(dist2(Vec{2, 2}, Vec{2, 2}), 0.0);
+}
+
+TEST(Vec, Axpy) {
+  Vec y{1, 1, 1};
+  axpy(2.0, Vec{1, 2, 3}, y);
+  EXPECT_EQ(y, (Vec{3, 5, 7}));
+}
+
+TEST(Vec, Scale) {
+  Vec x{1, -2};
+  scale(x, -3.0);
+  EXPECT_EQ(x, (Vec{-3, 6}));
+}
+
+TEST(Vec, CosineSimilarityIdenticalAndOpposite) {
+  EXPECT_DOUBLE_EQ(cosine_similarity(Vec{1, 2}, Vec{2, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(Vec{1, 0}, Vec{-1, 0}), -1.0);
+}
+
+TEST(Vec, CosineSimilarityOrthogonal) {
+  EXPECT_NEAR(cosine_similarity(Vec{1, 0}, Vec{0, 1}), 0.0, 1e-15);
+}
+
+TEST(Vec, CosineSimilarityZeroVectorThrows) {
+  EXPECT_THROW(cosine_similarity(Vec{0, 0}, Vec{1, 0}), InvalidArgument);
+}
+
+TEST(Vec, CosineSimilarityClampedToUnitInterval) {
+  // Nearly identical vectors can produce a cosine epsilon above 1.
+  Vec a{1e8, 1.0};
+  Vec b{1e8, 1.0};
+  const double c = cosine_similarity(a, b);
+  EXPECT_LE(c, 1.0);
+  EXPECT_GE(c, 0.999999);
+}
+
+TEST(Vec, MeanPoint) {
+  std::vector<Vec> pts{{0, 0}, {2, 4}, {4, 2}};
+  EXPECT_EQ(mean_point(pts), (Vec{2, 2}));
+}
+
+TEST(Vec, MeanPointEmptyThrows) {
+  std::vector<Vec> pts;
+  EXPECT_THROW(mean_point(pts), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppds::math

@@ -1,0 +1,119 @@
+#include "ppds/net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ppds/net/party.hpp"
+
+namespace ppds::net {
+namespace {
+
+TEST(Channel, PingPong) {
+  auto [a, b] = make_channel();
+  a.send(Bytes{1, 2, 3});
+  EXPECT_EQ(b.recv(), (Bytes{1, 2, 3}));
+  b.send(Bytes{4});
+  EXPECT_EQ(a.recv(), (Bytes{4}));
+}
+
+TEST(Channel, FifoOrderPreserved) {
+  auto [a, b] = make_channel();
+  for (std::uint8_t i = 0; i < 100; ++i) a.send(Bytes{i});
+  for (std::uint8_t i = 0; i < 100; ++i) EXPECT_EQ(b.recv(), Bytes{i});
+}
+
+TEST(Channel, StatsCountBytesAndMessages) {
+  auto [a, b] = make_channel();
+  a.send(Bytes(10, 0));
+  a.send(Bytes(32, 0));
+  EXPECT_EQ(a.stats().messages, 2u);
+  EXPECT_EQ(a.stats().bytes, 42u);
+  EXPECT_EQ(b.stats().messages, 0u);
+  b.recv();
+  b.recv();
+  a.reset_stats();
+  EXPECT_EQ(a.stats().bytes, 0u);
+}
+
+TEST(Channel, LatencyModelAccountsWireTime) {
+  LatencyModel model;
+  model.latency_us = 100.0;
+  model.bandwidth_mbps = 8.0;  // 1 byte per microsecond
+  auto [a, b] = make_channel(model);
+  a.send(Bytes(50, 0));
+  EXPECT_DOUBLE_EQ(a.stats().simulated_wire_us, 100.0 + 50.0);
+  b.recv();
+}
+
+TEST(Channel, LatencyModelZeroBandwidthMeansInfinite) {
+  LatencyModel model;
+  model.latency_us = 7.0;
+  EXPECT_DOUBLE_EQ(model.cost_us(1000000), 7.0);
+}
+
+TEST(Channel, CloseUnblocksPeerWithError) {
+  auto [a, b] = make_channel();
+  std::thread t([&a_ref = a] { a_ref.close(); });
+  EXPECT_THROW(b.recv(), ProtocolError);
+  t.join();
+}
+
+TEST(Channel, CrossThreadTransfer) {
+  auto [a, b] = make_channel();
+  std::thread producer([&a_ref = a] {
+    for (int i = 0; i < 1000; ++i) {
+      a_ref.send(Bytes{static_cast<std::uint8_t>(i & 0xff)});
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(b.recv()[0], static_cast<std::uint8_t>(i & 0xff));
+  }
+  producer.join();
+}
+
+TEST(RunTwoParty, ReturnsBothResultsAndStats) {
+  auto outcome = run_two_party(
+      [](Endpoint& ch) {
+        ch.send(Bytes{42});
+        return ch.recv()[0];
+      },
+      [](Endpoint& ch) {
+        const Bytes msg = ch.recv();
+        ch.send(Bytes{static_cast<std::uint8_t>(msg[0] + 1)});
+        return static_cast<int>(msg[0]);
+      });
+  EXPECT_EQ(outcome.a, 43);
+  EXPECT_EQ(outcome.b, 42);
+  EXPECT_EQ(outcome.a_sent.messages, 1u);
+  EXPECT_EQ(outcome.b_sent.messages, 1u);
+}
+
+TEST(RunTwoParty, PropagatesPartyAException) {
+  EXPECT_THROW(run_two_party(
+                   [](Endpoint&) -> int { throw InvalidArgument("boom"); },
+                   [](Endpoint& ch) -> int {
+                     try {
+                       ch.recv();
+                     } catch (const ProtocolError&) {
+                     }
+                     return 0;
+                   }),
+               InvalidArgument);
+}
+
+TEST(RunTwoParty, PropagatesPartyBException) {
+  EXPECT_THROW(run_two_party(
+                   [](Endpoint& ch) -> int {
+                     try {
+                       ch.recv();
+                     } catch (const ProtocolError&) {
+                     }
+                     return 0;
+                   },
+                   [](Endpoint&) -> int { throw CryptoError("bad"); }),
+               CryptoError);
+}
+
+}  // namespace
+}  // namespace ppds::net

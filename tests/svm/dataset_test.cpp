@@ -1,0 +1,159 @@
+#include "ppds/svm/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace ppds::svm {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset d;
+  d.push({0.0, 1.0}, 1);
+  d.push({2.0, -1.0}, -1);
+  d.push({4.0, 3.0}, 1);
+  d.push({-2.0, 0.0}, -1);
+  return d;
+}
+
+TEST(Dataset, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(tiny_dataset().validate());
+}
+
+TEST(Dataset, ValidateRejectsRaggedRows) {
+  Dataset d = tiny_dataset();
+  d.x[1].push_back(9.0);
+  EXPECT_THROW(d.validate(), InvalidArgument);
+}
+
+TEST(Dataset, ValidateRejectsBadLabels) {
+  Dataset d = tiny_dataset();
+  d.y[0] = 0;
+  EXPECT_THROW(d.validate(), InvalidArgument);
+}
+
+TEST(Dataset, TrainTestSplitPartitions) {
+  Rng rng(1);
+  Dataset d;
+  for (int i = 0; i < 100; ++i) d.push({static_cast<double>(i)}, i % 2 ? 1 : -1);
+  auto [train, test] = train_test_split(d, 0.7, rng);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  // Partition: every original value appears exactly once.
+  std::vector<double> seen;
+  for (const auto& r : train.x) seen.push_back(r[0]);
+  for (const auto& r : test.x) seen.push_back(r[0]);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(seen[i], i);
+}
+
+TEST(Dataset, TrainTestSplitRejectsBadFraction) {
+  Rng rng(2);
+  EXPECT_THROW(train_test_split(tiny_dataset(), 0.0, rng), InvalidArgument);
+  EXPECT_THROW(train_test_split(tiny_dataset(), 1.0, rng), InvalidArgument);
+}
+
+TEST(Dataset, SplitSubsetsNearEqualAndDisjoint) {
+  Rng rng(3);
+  Dataset d;
+  for (int i = 0; i < 768; ++i) d.push({static_cast<double>(i)}, 1);
+  d.y[0] = -1;  // keep both labels legal-ish (not validated here)
+  const auto subsets = split_subsets(d, 4, rng);
+  ASSERT_EQ(subsets.size(), 4u);
+  // The Table II setting: diabetes split into 4 x 192.
+  for (const auto& s : subsets) EXPECT_EQ(s.size(), 192u);
+}
+
+TEST(FeatureScaler, MapsTrainRangeToUnitInterval) {
+  Dataset d;
+  d.push({0.0, 10.0}, 1);
+  d.push({5.0, 20.0}, -1);
+  d.push({10.0, 30.0}, 1);
+  FeatureScaler scaler;
+  scaler.fit(d);
+  const auto lo = scaler.transform(math::Vec{0.0, 10.0});
+  const auto hi = scaler.transform(math::Vec{10.0, 30.0});
+  const auto mid = scaler.transform(math::Vec{5.0, 20.0});
+  EXPECT_DOUBLE_EQ(lo[0], -1.0);
+  EXPECT_DOUBLE_EQ(hi[1], 1.0);
+  EXPECT_DOUBLE_EQ(mid[0], 0.0);
+  EXPECT_DOUBLE_EQ(mid[1], 0.0);
+}
+
+TEST(FeatureScaler, ClampsOutOfRangeTestSamples) {
+  Dataset d;
+  d.push({0.0}, 1);
+  d.push({1.0}, -1);
+  FeatureScaler scaler;
+  scaler.fit(d);
+  EXPECT_DOUBLE_EQ(scaler.transform(math::Vec{5.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(scaler.transform(math::Vec{-5.0})[0], -1.0);
+}
+
+TEST(FeatureScaler, ConstantFeatureMapsToZero) {
+  Dataset d;
+  d.push({7.0, 1.0}, 1);
+  d.push({7.0, 2.0}, -1);
+  FeatureScaler scaler;
+  scaler.fit(d);
+  EXPECT_DOUBLE_EQ(scaler.transform(math::Vec{7.0, 1.5})[0], 0.0);
+}
+
+TEST(FeatureScaler, UnfittedThrows) {
+  FeatureScaler scaler;
+  EXPECT_THROW(scaler.transform(math::Vec{1.0}), InvalidArgument);
+}
+
+TEST(LibsvmIo, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppds_libsvm_test.txt").string();
+  Dataset d = tiny_dataset();
+  write_libsvm(path, d);
+  const Dataset back = read_libsvm(path);
+  ASSERT_EQ(back.size(), d.size());
+  EXPECT_EQ(back.y, d.y);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t j = 0; j < d.dim(); ++j) {
+      EXPECT_DOUBLE_EQ(back.x[i][j], d.x[i][j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LibsvmIo, SparseRowsZeroFilled) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ppds_libsvm_sparse.txt").string();
+  {
+    std::ofstream out(path);
+    out << "+1 2:0.5\n-1 1:1.0 3:2.0\n";
+  }
+  const Dataset d = read_libsvm(path);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dim(), 3u);
+  EXPECT_DOUBLE_EQ(d.x[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(d.x[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(d.x[1][2], 2.0);
+  EXPECT_EQ(d.y[0], 1);
+  EXPECT_EQ(d.y[1], -1);
+  std::remove(path.c_str());
+}
+
+TEST(LibsvmIo, MissingFileThrows) {
+  EXPECT_THROW(read_libsvm("/nonexistent/nope.txt"), InvalidArgument);
+}
+
+TEST(Accuracy, CountsMatches) {
+  EXPECT_DOUBLE_EQ(accuracy({1, -1, 1, 1}, {1, -1, -1, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy({1}, {1}), 1.0);
+}
+
+TEST(Accuracy, MismatchedSizesThrow) {
+  EXPECT_THROW(accuracy({1}, {1, -1}), InvalidArgument);
+  EXPECT_THROW(accuracy({}, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppds::svm

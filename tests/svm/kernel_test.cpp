@@ -1,0 +1,116 @@
+#include "ppds/svm/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppds/common/rng.hpp"
+
+namespace ppds::svm {
+namespace {
+
+TEST(Kernel, LinearIsDotProduct) {
+  const Kernel k = Kernel::linear();
+  EXPECT_DOUBLE_EQ(k(math::Vec{1, 2}, math::Vec{3, 4}), 11.0);
+}
+
+TEST(Kernel, PaperPolynomialDefaults) {
+  const Kernel k = Kernel::paper_polynomial(8);
+  EXPECT_EQ(k.type, KernelType::kPolynomial);
+  EXPECT_DOUBLE_EQ(k.a0, 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(k.b0, 0.0);
+  EXPECT_EQ(k.degree, 3u);
+  // (x.t / 8)^3
+  const math::Vec x{1, 1, 1, 1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(k(x, x), 1.0);
+}
+
+TEST(Kernel, PolynomialWithOffset) {
+  Kernel k;
+  k.type = KernelType::kPolynomial;
+  k.a0 = 2.0;
+  k.b0 = 1.0;
+  k.degree = 2;
+  EXPECT_DOUBLE_EQ(k(math::Vec{1.0}, math::Vec{3.0}), 49.0);  // (6+1)^2
+}
+
+TEST(Kernel, RbfValueAndRange) {
+  const Kernel k = Kernel::rbf(0.5);
+  const math::Vec x{1, 0}, y{0, 1};
+  EXPECT_DOUBLE_EQ(k(x, x), 1.0);
+  EXPECT_DOUBLE_EQ(k(x, y), std::exp(-1.0));
+  EXPECT_GT(k(x, y), 0.0);
+}
+
+TEST(Kernel, SigmoidMatchesTanh) {
+  const Kernel k = Kernel::sigmoid(0.5, 0.1);
+  EXPECT_DOUBLE_EQ(k(math::Vec{1, 2}, math::Vec{2, 1}),
+                   std::tanh(0.5 * 4.0 + 0.1));
+}
+
+TEST(Kernel, SymmetryProperty) {
+  Rng rng(1);
+  const std::vector<Kernel> kernels{Kernel::linear(), Kernel::paper_polynomial(4),
+                                    Kernel::rbf(0.7), Kernel::sigmoid(0.3, 0.0)};
+  for (const Kernel& k : kernels) {
+    for (int i = 0; i < 10; ++i) {
+      math::Vec x(4), y(4);
+      for (auto& v : x) v = rng.uniform(-1, 1);
+      for (auto& v : y) v = rng.uniform(-1, 1);
+      EXPECT_DOUBLE_EQ(k(x, y), k(y, x)) << k.name();
+    }
+  }
+}
+
+TEST(Kernel, PsdOnRandomSets) {
+  // Gram matrices of PSD kernels have nonnegative quadratic forms.
+  Rng rng(2);
+  for (const Kernel& k : {Kernel::linear(), Kernel::paper_polynomial(3), Kernel::rbf(1.0)}) {
+    std::vector<math::Vec> pts(6, math::Vec(3));
+    for (auto& p : pts) {
+      for (auto& v : p) v = rng.uniform(-1, 1);
+    }
+    std::vector<double> c(pts.size());
+    for (auto& v : c) v = rng.uniform(-1, 1);
+    double quad = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        quad += c[i] * c[j] * k(pts[i], pts[j]);
+      }
+    }
+    EXPECT_GE(quad, -1e-9) << k.name();
+  }
+}
+
+TEST(Kernel, SerializationRoundTrip) {
+  Kernel k;
+  k.type = KernelType::kRbf;
+  k.gamma = 0.125;
+  k.a0 = 9.0;
+  ByteWriter w;
+  k.serialize(w);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(Kernel::deserialize(r), k);
+}
+
+TEST(Kernel, DeserializeRejectsBadTag) {
+  ByteWriter w;
+  w.u8(9);
+  w.f64(0);
+  w.f64(0);
+  w.u32(0);
+  w.f64(0);
+  w.f64(0);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(Kernel::deserialize(r), SerializationError);
+}
+
+TEST(Kernel, NamesAreInformative) {
+  EXPECT_EQ(Kernel::linear().name(), "linear");
+  EXPECT_NE(Kernel::paper_polynomial(4).name().find("polynomial"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppds::svm

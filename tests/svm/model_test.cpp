@@ -1,0 +1,90 @@
+#include "ppds/svm/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/rng.hpp"
+
+namespace ppds::svm {
+namespace {
+
+SvmModel linear_model() {
+  // d(t) = 1*( (1,0).t ) - 0.5*( (0,1).t ) + 0.25
+  return SvmModel(Kernel::linear(), {{1.0, 0.0}, {0.0, 1.0}}, {1.0, -0.5},
+                  0.25);
+}
+
+TEST(SvmModel, DecisionValueMatchesExpansion) {
+  const SvmModel m = linear_model();
+  EXPECT_DOUBLE_EQ(m.decision_value(math::Vec{2.0, 2.0}),
+                   2.0 - 1.0 + 0.25);
+}
+
+TEST(SvmModel, PredictSign) {
+  const SvmModel m = linear_model();
+  EXPECT_EQ(m.predict(math::Vec{1.0, 0.0}), 1);
+  EXPECT_EQ(m.predict(math::Vec{-1.0, 0.0}), -1);
+}
+
+TEST(SvmModel, PredictAll) {
+  const SvmModel m = linear_model();
+  const auto preds = m.predict_all({{1.0, 0.0}, {-1.0, 0.0}});
+  EXPECT_EQ(preds, (std::vector<int>{1, -1}));
+}
+
+TEST(SvmModel, LinearWeightsCollapse) {
+  const SvmModel m = linear_model();
+  const math::Vec w = m.linear_weights();
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], -0.5);
+  // The collapsed form agrees with the SV expansion everywhere.
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const math::Vec t{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    EXPECT_NEAR(math::dot(w, t) + m.bias(), m.decision_value(t), 1e-12);
+  }
+}
+
+TEST(SvmModel, LinearWeightsRejectedForNonlinear) {
+  const SvmModel m(Kernel::paper_polynomial(2), {{1.0, 0.0}}, {1.0}, 0.0);
+  EXPECT_THROW(m.linear_weights(), InvalidArgument);
+}
+
+TEST(SvmModel, ConstructorValidatesShapes) {
+  EXPECT_THROW(SvmModel(Kernel::linear(), {{1.0}}, {1.0, 2.0}, 0.0),
+               InvalidArgument);
+  EXPECT_THROW(SvmModel(Kernel::linear(), {}, {}, 0.0), InvalidArgument);
+  EXPECT_THROW(SvmModel(Kernel::linear(), {{1.0}, {1.0, 2.0}}, {1.0, 1.0}, 0.0),
+               InvalidArgument);
+}
+
+TEST(SvmModel, SerializationRoundTrip) {
+  const SvmModel m(Kernel::paper_polynomial(3), {{0.1, 0.2, 0.3}, {-1, 0, 1}},
+                   {0.5, -0.25}, -1.5);
+  const Bytes bytes = m.serialize();
+  const SvmModel back = SvmModel::deserialize(bytes);
+  EXPECT_EQ(back.kernel(), m.kernel());
+  EXPECT_EQ(back.num_support_vectors(), 2u);
+  EXPECT_DOUBLE_EQ(back.bias(), -1.5);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const math::Vec t{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    EXPECT_DOUBLE_EQ(back.decision_value(t), m.decision_value(t));
+  }
+}
+
+TEST(SvmModel, DeserializeRejectsTruncated) {
+  const SvmModel m = linear_model();
+  Bytes bytes = m.serialize();
+  bytes.pop_back();
+  EXPECT_THROW(SvmModel::deserialize(bytes), SerializationError);
+}
+
+TEST(SvmModel, DeserializeRejectsTrailingGarbage) {
+  const SvmModel m = linear_model();
+  Bytes bytes = m.serialize();
+  bytes.push_back(0);
+  EXPECT_THROW(SvmModel::deserialize(bytes), SerializationError);
+}
+
+}  // namespace
+}  // namespace ppds::svm

@@ -1,0 +1,122 @@
+#include "ppds/svm/multiclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/rng.hpp"
+
+namespace ppds::svm {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2-D with labels {2, 5, 9}
+/// (deliberately non-contiguous).
+MulticlassDataset blobs(Rng& rng, std::size_t per_class) {
+  const struct {
+    double cx, cy;
+    int label;
+  } centers[] = {{-0.6, -0.6, 2}, {0.7, -0.5, 5}, {0.0, 0.7, 9}};
+  MulticlassDataset d;
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      d.push({c.cx + rng.normal(0, 0.12), c.cy + rng.normal(0, 0.12)},
+             c.label);
+    }
+  }
+  return d;
+}
+
+TEST(Multiclass, TrainsAllPairs) {
+  Rng rng(1);
+  const auto data = blobs(rng, 40);
+  const auto model = MulticlassModel::train(data, Kernel::linear());
+  EXPECT_EQ(model.num_classes(), 3u);
+  EXPECT_EQ(model.pairs().size(), 3u);  // C(3,2)
+  EXPECT_EQ(model.labels(), (std::vector<int>{2, 5, 9}));
+}
+
+TEST(Multiclass, PredictsBlobsAccurately) {
+  Rng rng(2);
+  const auto train = blobs(rng, 60);
+  const auto test = blobs(rng, 40);
+  const auto model = MulticlassModel::train(train, Kernel::linear());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (model.predict(test.x[i]) == test.y[i]) ++hits;
+  }
+  EXPECT_GE(static_cast<double>(hits) / test.size(), 0.97);
+}
+
+TEST(Multiclass, PredictAllMatchesPredict) {
+  Rng rng(3);
+  const auto train = blobs(rng, 30);
+  const auto model = MulticlassModel::train(train, Kernel::linear());
+  const auto preds = model.predict_all(train.x);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(preds[i], model.predict(train.x[i]));
+  }
+}
+
+TEST(Multiclass, ResolveVotesMajority) {
+  Rng rng(4);
+  const auto model = MulticlassModel::train(blobs(rng, 20), Kernel::linear());
+  // pairs order: (2,5), (2,9), (5,9). All +1 => label 2 wins 2 votes.
+  EXPECT_EQ(model.resolve_votes(std::vector<int>{1, 1, 1}), 2);
+  // 5 beats 2, 9 beats 2, 5 beats 9 => 5 has two votes.
+  EXPECT_EQ(model.resolve_votes(std::vector<int>{-1, -1, 1}), 5);
+  // 9 wins both its pairs.
+  EXPECT_EQ(model.resolve_votes(std::vector<int>{1, -1, -1}), 9);
+}
+
+TEST(Multiclass, ResolveVotesSizeChecked) {
+  Rng rng(5);
+  const auto model = MulticlassModel::train(blobs(rng, 20), Kernel::linear());
+  EXPECT_THROW(model.resolve_votes(std::vector<int>{1}), InvalidArgument);
+}
+
+TEST(Multiclass, RejectsSingleClass) {
+  MulticlassDataset d;
+  d.push({0.0}, 1);
+  d.push({1.0}, 1);
+  EXPECT_THROW(MulticlassModel::train(d, Kernel::linear()), InvalidArgument);
+}
+
+TEST(Multiclass, TwoClassesReducesToBinary) {
+  Rng rng(6);
+  MulticlassDataset d;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-1, 1);
+    d.push({x, rng.uniform(-1, 1)}, x > 0 ? 10 : 20);
+  }
+  const auto model = MulticlassModel::train(d, Kernel::linear());
+  EXPECT_EQ(model.pairs().size(), 1u);
+  EXPECT_EQ(model.predict(math::Vec{0.8, 0.0}), 10);
+  EXPECT_EQ(model.predict(math::Vec{-0.8, 0.0}), 20);
+}
+
+TEST(Multiclass, NonlinearKernelPairs) {
+  // Ring vs core vs outer-corner classes need a nonlinear boundary.
+  Rng rng(7);
+  MulticlassDataset train;
+  for (int i = 0; i < 400; ++i) {
+    math::Vec x{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double r2 = math::norm2(x);
+    int label;
+    if (r2 < 0.2) {
+      label = 1;
+    } else if (r2 < 0.7) {
+      label = 2;
+    } else {
+      label = 3;
+    }
+    train.push(std::move(x), label);
+  }
+  const auto model =
+      MulticlassModel::train(train, Kernel::rbf(3.0), SmoParams{10.0});
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    if (model.predict(train.x[i]) == train.y[i]) ++hits;
+  }
+  EXPECT_GE(static_cast<double>(hits) / train.size(), 0.9);
+}
+
+}  // namespace
+}  // namespace ppds::svm

