@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collusion.dir/ablation_collusion.cpp.o"
+  "CMakeFiles/ablation_collusion.dir/ablation_collusion.cpp.o.d"
+  "ablation_collusion"
+  "ablation_collusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ot_engines.dir/ablation_ot_engines.cpp.o"
+  "CMakeFiles/ablation_ot_engines.dir/ablation_ot_engines.cpp.o.d"
+  "ablation_ot_engines"
+  "ablation_ot_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ot_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

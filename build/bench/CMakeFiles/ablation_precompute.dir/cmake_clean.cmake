@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precompute.dir/ablation_precompute.cpp.o"
+  "CMakeFiles/ablation_precompute.dir/ablation_precompute.cpp.o.d"
+  "ablation_precompute"
+  "ablation_precompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_taylor.cpp" "bench/CMakeFiles/ablation_taylor.dir/ablation_taylor.cpp.o" "gcc" "bench/CMakeFiles/ablation_taylor.dir/ablation_taylor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompe/CMakeFiles/ppds_ompe.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ppds_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/ppds_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ppds_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ppds_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

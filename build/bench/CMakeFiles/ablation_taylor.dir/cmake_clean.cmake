@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_taylor.dir/ablation_taylor.cpp.o"
+  "CMakeFiles/ablation_taylor.dir/ablation_taylor.cpp.o.d"
+  "ablation_taylor"
+  "ablation_taylor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_taylor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

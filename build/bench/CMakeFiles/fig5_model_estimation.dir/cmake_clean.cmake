@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_model_estimation.dir/fig5_model_estimation.cpp.o"
+  "CMakeFiles/fig5_model_estimation.dir/fig5_model_estimation.cpp.o.d"
+  "fig5_model_estimation"
+  "fig5_model_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_model_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

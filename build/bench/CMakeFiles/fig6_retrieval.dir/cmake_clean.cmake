@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_retrieval.dir/fig6_retrieval.cpp.o"
+  "CMakeFiles/fig6_retrieval.dir/fig6_retrieval.cpp.o.d"
+  "fig6_retrieval"
+  "fig6_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_linear_accuracy.dir/fig7_linear_accuracy.cpp.o"
+  "CMakeFiles/fig7_linear_accuracy.dir/fig7_linear_accuracy.cpp.o.d"
+  "fig7_linear_accuracy"
+  "fig7_linear_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_linear_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

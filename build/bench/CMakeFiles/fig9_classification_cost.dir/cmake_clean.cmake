@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_classification_cost.dir/fig9_classification_cost.cpp.o"
+  "CMakeFiles/fig9_classification_cost.dir/fig9_classification_cost.cpp.o.d"
+  "fig9_classification_cost"
+  "fig9_classification_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_classification_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ompe.dir/micro_ompe.cpp.o"
+  "CMakeFiles/micro_ompe.dir/micro_ompe.cpp.o.d"
+  "micro_ompe"
+  "micro_ompe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ompe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

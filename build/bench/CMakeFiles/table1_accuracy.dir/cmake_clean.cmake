@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_accuracy.dir/table1_accuracy.cpp.o"
+  "CMakeFiles/table1_accuracy.dir/table1_accuracy.cpp.o.d"
+  "table1_accuracy"
+  "table1_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_similarity.dir/table2_similarity.cpp.o"
+  "CMakeFiles/table2_similarity.dir/table2_similarity.cpp.o.d"
+  "table2_similarity"
+  "table2_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

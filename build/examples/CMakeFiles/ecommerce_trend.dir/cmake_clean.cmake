@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_trend.dir/ecommerce_trend.cpp.o"
+  "CMakeFiles/ecommerce_trend.dir/ecommerce_trend.cpp.o.d"
+  "ecommerce_trend"
+  "ecommerce_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_network.dir/medical_network.cpp.o"
+  "CMakeFiles/medical_network.dir/medical_network.cpp.o.d"
+  "medical_network"
+  "medical_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass_triage.dir/multiclass_triage.cpp.o"
+  "CMakeFiles/multiclass_triage.dir/multiclass_triage.cpp.o.d"
+  "multiclass_triage"
+  "multiclass_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attacks.cpp" "src/core/CMakeFiles/ppds_core.dir/attacks.cpp.o" "gcc" "src/core/CMakeFiles/ppds_core.dir/attacks.cpp.o.d"
+  "/root/repo/src/core/classification.cpp" "src/core/CMakeFiles/ppds_core.dir/classification.cpp.o" "gcc" "src/core/CMakeFiles/ppds_core.dir/classification.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/ppds_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/ppds_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/multiclass.cpp" "src/core/CMakeFiles/ppds_core.dir/multiclass.cpp.o" "gcc" "src/core/CMakeFiles/ppds_core.dir/multiclass.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/ppds_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/ppds_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/ppds_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/ppds_core.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/ppds_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ppds_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/ppds_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompe/CMakeFiles/ppds_ompe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppds_core.dir/attacks.cpp.o"
+  "CMakeFiles/ppds_core.dir/attacks.cpp.o.d"
+  "CMakeFiles/ppds_core.dir/classification.cpp.o"
+  "CMakeFiles/ppds_core.dir/classification.cpp.o.d"
+  "CMakeFiles/ppds_core.dir/config.cpp.o"
+  "CMakeFiles/ppds_core.dir/config.cpp.o.d"
+  "CMakeFiles/ppds_core.dir/multiclass.cpp.o"
+  "CMakeFiles/ppds_core.dir/multiclass.cpp.o.d"
+  "CMakeFiles/ppds_core.dir/session.cpp.o"
+  "CMakeFiles/ppds_core.dir/session.cpp.o.d"
+  "CMakeFiles/ppds_core.dir/similarity.cpp.o"
+  "CMakeFiles/ppds_core.dir/similarity.cpp.o.d"
+  "libppds_core.a"
+  "libppds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

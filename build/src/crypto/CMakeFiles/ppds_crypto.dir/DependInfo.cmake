@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/group.cpp" "src/crypto/CMakeFiles/ppds_crypto.dir/group.cpp.o" "gcc" "src/crypto/CMakeFiles/ppds_crypto.dir/group.cpp.o.d"
+  "/root/repo/src/crypto/ot.cpp" "src/crypto/CMakeFiles/ppds_crypto.dir/ot.cpp.o" "gcc" "src/crypto/CMakeFiles/ppds_crypto.dir/ot.cpp.o.d"
+  "/root/repo/src/crypto/prg.cpp" "src/crypto/CMakeFiles/ppds_crypto.dir/prg.cpp.o" "gcc" "src/crypto/CMakeFiles/ppds_crypto.dir/prg.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/ppds_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/ppds_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppds_crypto.dir/group.cpp.o"
+  "CMakeFiles/ppds_crypto.dir/group.cpp.o.d"
+  "CMakeFiles/ppds_crypto.dir/ot.cpp.o"
+  "CMakeFiles/ppds_crypto.dir/ot.cpp.o.d"
+  "CMakeFiles/ppds_crypto.dir/prg.cpp.o"
+  "CMakeFiles/ppds_crypto.dir/prg.cpp.o.d"
+  "CMakeFiles/ppds_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ppds_crypto.dir/sha256.cpp.o.d"
+  "libppds_crypto.a"
+  "libppds_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppds_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/kstest.cpp" "src/data/CMakeFiles/ppds_data.dir/kstest.cpp.o" "gcc" "src/data/CMakeFiles/ppds_data.dir/kstest.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/ppds_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/ppds_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/ppds_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/ppds_svm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppds_data.dir/kstest.cpp.o"
+  "CMakeFiles/ppds_data.dir/kstest.cpp.o.d"
+  "CMakeFiles/ppds_data.dir/synthetic.cpp.o"
+  "CMakeFiles/ppds_data.dir/synthetic.cpp.o.d"
+  "libppds_data.a"
+  "libppds_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppds_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/linalg.cpp" "src/math/CMakeFiles/ppds_math.dir/linalg.cpp.o" "gcc" "src/math/CMakeFiles/ppds_math.dir/linalg.cpp.o.d"
+  "/root/repo/src/math/monomial.cpp" "src/math/CMakeFiles/ppds_math.dir/monomial.cpp.o" "gcc" "src/math/CMakeFiles/ppds_math.dir/monomial.cpp.o.d"
+  "/root/repo/src/math/multipoly.cpp" "src/math/CMakeFiles/ppds_math.dir/multipoly.cpp.o" "gcc" "src/math/CMakeFiles/ppds_math.dir/multipoly.cpp.o.d"
+  "/root/repo/src/math/rootfind.cpp" "src/math/CMakeFiles/ppds_math.dir/rootfind.cpp.o" "gcc" "src/math/CMakeFiles/ppds_math.dir/rootfind.cpp.o.d"
+  "/root/repo/src/math/taylor.cpp" "src/math/CMakeFiles/ppds_math.dir/taylor.cpp.o" "gcc" "src/math/CMakeFiles/ppds_math.dir/taylor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

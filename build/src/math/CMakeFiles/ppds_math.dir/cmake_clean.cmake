@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppds_math.dir/linalg.cpp.o"
+  "CMakeFiles/ppds_math.dir/linalg.cpp.o.d"
+  "CMakeFiles/ppds_math.dir/monomial.cpp.o"
+  "CMakeFiles/ppds_math.dir/monomial.cpp.o.d"
+  "CMakeFiles/ppds_math.dir/multipoly.cpp.o"
+  "CMakeFiles/ppds_math.dir/multipoly.cpp.o.d"
+  "CMakeFiles/ppds_math.dir/rootfind.cpp.o"
+  "CMakeFiles/ppds_math.dir/rootfind.cpp.o.d"
+  "CMakeFiles/ppds_math.dir/taylor.cpp.o"
+  "CMakeFiles/ppds_math.dir/taylor.cpp.o.d"
+  "libppds_math.a"
+  "libppds_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppds_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

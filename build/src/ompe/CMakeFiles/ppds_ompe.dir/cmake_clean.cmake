@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppds_ompe.dir/ompe.cpp.o"
+  "CMakeFiles/ppds_ompe.dir/ompe.cpp.o.d"
+  "libppds_ompe.a"
+  "libppds_ompe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppds_ompe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

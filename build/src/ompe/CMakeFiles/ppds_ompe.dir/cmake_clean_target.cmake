@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppds_ompe.a"
+)

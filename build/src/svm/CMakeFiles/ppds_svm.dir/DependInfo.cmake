@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/dataset.cpp" "src/svm/CMakeFiles/ppds_svm.dir/dataset.cpp.o" "gcc" "src/svm/CMakeFiles/ppds_svm.dir/dataset.cpp.o.d"
+  "/root/repo/src/svm/kernel.cpp" "src/svm/CMakeFiles/ppds_svm.dir/kernel.cpp.o" "gcc" "src/svm/CMakeFiles/ppds_svm.dir/kernel.cpp.o.d"
+  "/root/repo/src/svm/model.cpp" "src/svm/CMakeFiles/ppds_svm.dir/model.cpp.o" "gcc" "src/svm/CMakeFiles/ppds_svm.dir/model.cpp.o.d"
+  "/root/repo/src/svm/multiclass.cpp" "src/svm/CMakeFiles/ppds_svm.dir/multiclass.cpp.o" "gcc" "src/svm/CMakeFiles/ppds_svm.dir/multiclass.cpp.o.d"
+  "/root/repo/src/svm/smo.cpp" "src/svm/CMakeFiles/ppds_svm.dir/smo.cpp.o" "gcc" "src/svm/CMakeFiles/ppds_svm.dir/smo.cpp.o.d"
+  "/root/repo/src/svm/validation.cpp" "src/svm/CMakeFiles/ppds_svm.dir/validation.cpp.o" "gcc" "src/svm/CMakeFiles/ppds_svm.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/ppds_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppds_svm.dir/dataset.cpp.o"
+  "CMakeFiles/ppds_svm.dir/dataset.cpp.o.d"
+  "CMakeFiles/ppds_svm.dir/kernel.cpp.o"
+  "CMakeFiles/ppds_svm.dir/kernel.cpp.o.d"
+  "CMakeFiles/ppds_svm.dir/model.cpp.o"
+  "CMakeFiles/ppds_svm.dir/model.cpp.o.d"
+  "CMakeFiles/ppds_svm.dir/multiclass.cpp.o"
+  "CMakeFiles/ppds_svm.dir/multiclass.cpp.o.d"
+  "CMakeFiles/ppds_svm.dir/smo.cpp.o"
+  "CMakeFiles/ppds_svm.dir/smo.cpp.o.d"
+  "CMakeFiles/ppds_svm.dir/validation.cpp.o"
+  "CMakeFiles/ppds_svm.dir/validation.cpp.o.d"
+  "libppds_svm.a"
+  "libppds_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppds_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/ppds_tests.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/common/bytes_test.cpp.o.d"
+  "/root/repo/tests/common/fixed_point_test.cpp" "tests/CMakeFiles/ppds_tests.dir/common/fixed_point_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/common/fixed_point_test.cpp.o.d"
+  "/root/repo/tests/common/hex_test.cpp" "tests/CMakeFiles/ppds_tests.dir/common/hex_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/common/hex_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/ppds_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/core/attacks_test.cpp" "tests/CMakeFiles/ppds_tests.dir/core/attacks_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/core/attacks_test.cpp.o.d"
+  "/root/repo/tests/core/classification_test.cpp" "tests/CMakeFiles/ppds_tests.dir/core/classification_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/core/classification_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/ppds_tests.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/multiclass_test.cpp" "tests/CMakeFiles/ppds_tests.dir/core/multiclass_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/core/multiclass_test.cpp.o.d"
+  "/root/repo/tests/core/session_test.cpp" "tests/CMakeFiles/ppds_tests.dir/core/session_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/core/session_test.cpp.o.d"
+  "/root/repo/tests/core/similarity_test.cpp" "tests/CMakeFiles/ppds_tests.dir/core/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/core/similarity_test.cpp.o.d"
+  "/root/repo/tests/crypto/group_test.cpp" "tests/CMakeFiles/ppds_tests.dir/crypto/group_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/crypto/group_test.cpp.o.d"
+  "/root/repo/tests/crypto/ot_test.cpp" "tests/CMakeFiles/ppds_tests.dir/crypto/ot_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/crypto/ot_test.cpp.o.d"
+  "/root/repo/tests/crypto/prg_test.cpp" "tests/CMakeFiles/ppds_tests.dir/crypto/prg_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/crypto/prg_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/ppds_tests.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/crypto/sha256_test.cpp.o.d"
+  "/root/repo/tests/data/kstest_test.cpp" "tests/CMakeFiles/ppds_tests.dir/data/kstest_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/data/kstest_test.cpp.o.d"
+  "/root/repo/tests/data/synthetic_test.cpp" "tests/CMakeFiles/ppds_tests.dir/data/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/data/synthetic_test.cpp.o.d"
+  "/root/repo/tests/field/encoding_test.cpp" "tests/CMakeFiles/ppds_tests.dir/field/encoding_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/field/encoding_test.cpp.o.d"
+  "/root/repo/tests/field/m61_test.cpp" "tests/CMakeFiles/ppds_tests.dir/field/m61_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/field/m61_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/ppds_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/robustness_test.cpp" "tests/CMakeFiles/ppds_tests.dir/integration/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/integration/robustness_test.cpp.o.d"
+  "/root/repo/tests/math/interpolate_test.cpp" "tests/CMakeFiles/ppds_tests.dir/math/interpolate_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/math/interpolate_test.cpp.o.d"
+  "/root/repo/tests/math/linalg_test.cpp" "tests/CMakeFiles/ppds_tests.dir/math/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/math/linalg_test.cpp.o.d"
+  "/root/repo/tests/math/monomial_test.cpp" "tests/CMakeFiles/ppds_tests.dir/math/monomial_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/math/monomial_test.cpp.o.d"
+  "/root/repo/tests/math/multipoly_test.cpp" "tests/CMakeFiles/ppds_tests.dir/math/multipoly_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/math/multipoly_test.cpp.o.d"
+  "/root/repo/tests/math/poly_test.cpp" "tests/CMakeFiles/ppds_tests.dir/math/poly_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/math/poly_test.cpp.o.d"
+  "/root/repo/tests/math/rootfind_test.cpp" "tests/CMakeFiles/ppds_tests.dir/math/rootfind_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/math/rootfind_test.cpp.o.d"
+  "/root/repo/tests/math/taylor_test.cpp" "tests/CMakeFiles/ppds_tests.dir/math/taylor_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/math/taylor_test.cpp.o.d"
+  "/root/repo/tests/math/vec_test.cpp" "tests/CMakeFiles/ppds_tests.dir/math/vec_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/math/vec_test.cpp.o.d"
+  "/root/repo/tests/net/channel_test.cpp" "tests/CMakeFiles/ppds_tests.dir/net/channel_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/net/channel_test.cpp.o.d"
+  "/root/repo/tests/ompe/ompe_fuzz_test.cpp" "tests/CMakeFiles/ppds_tests.dir/ompe/ompe_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/ompe/ompe_fuzz_test.cpp.o.d"
+  "/root/repo/tests/ompe/ompe_test.cpp" "tests/CMakeFiles/ppds_tests.dir/ompe/ompe_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/ompe/ompe_test.cpp.o.d"
+  "/root/repo/tests/ompe/privacy_test.cpp" "tests/CMakeFiles/ppds_tests.dir/ompe/privacy_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/ompe/privacy_test.cpp.o.d"
+  "/root/repo/tests/svm/dataset_test.cpp" "tests/CMakeFiles/ppds_tests.dir/svm/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/svm/dataset_test.cpp.o.d"
+  "/root/repo/tests/svm/kernel_test.cpp" "tests/CMakeFiles/ppds_tests.dir/svm/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/svm/kernel_test.cpp.o.d"
+  "/root/repo/tests/svm/model_test.cpp" "tests/CMakeFiles/ppds_tests.dir/svm/model_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/svm/model_test.cpp.o.d"
+  "/root/repo/tests/svm/multiclass_test.cpp" "tests/CMakeFiles/ppds_tests.dir/svm/multiclass_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/svm/multiclass_test.cpp.o.d"
+  "/root/repo/tests/svm/smo_test.cpp" "tests/CMakeFiles/ppds_tests.dir/svm/smo_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/svm/smo_test.cpp.o.d"
+  "/root/repo/tests/svm/validation_test.cpp" "tests/CMakeFiles/ppds_tests.dir/svm/validation_test.cpp.o" "gcc" "tests/CMakeFiles/ppds_tests.dir/svm/validation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompe/CMakeFiles/ppds_ompe.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ppds_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/ppds_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ppds_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ppds_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
