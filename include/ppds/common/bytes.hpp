@@ -4,6 +4,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ppds/common/error.hpp"
@@ -19,6 +20,14 @@
 namespace ppds {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Views a string's characters as unsigned bytes. `unsigned char` may alias
+/// any object, so this cast is well-defined; keeping it here (rather than
+/// scattered through callers) gives the UB audit a single site to check.
+inline std::span<const std::uint8_t> as_u8_span(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()),  // NOLINT(cppcoreguidelines-pro-type-reinterpret-cast)
+          s.size()};
+}
 
 /// Appends primitive values to a growing byte buffer.
 class ByteWriter {
@@ -132,7 +141,9 @@ class ByteReader {
   std::string str() {
     const std::uint64_t n = u64();
     need(n);
-    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    // uint8_t -> char conversion per element; no pointer type punning.
+    std::string out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;
     return out;
   }

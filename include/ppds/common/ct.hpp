@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+/// \file ct.hpp
+/// Constant-time comparison and guaranteed memory wiping for key material.
+///
+/// Two leak classes these primitives close:
+///
+///  1. Early-exit comparisons (`std::memcmp`, `operator==` on byte vectors)
+///     return as soon as the first differing byte is found, so the running
+///     time reveals the length of the matching prefix — enough to recover a
+///     MAC or pad key byte-by-byte over a network. `ct_equal` always touches
+///     every byte and folds the differences with data-independent `|`.
+///
+///  2. Dead-store elimination: a plain `memset(key, 0, len)` before a buffer
+///     goes out of scope is legally removed by the optimizer because the
+///     memory is never read again, leaving key bytes in freed heap pages.
+///     `secure_wipe` defeats this with a compiler barrier that declares the
+///     wiped memory "used".
+///
+/// The crypto-hygiene linter (tools/lint/secret_hygiene.py) enforces that
+/// secret-named buffers in src/crypto, src/ompe and src/core go through
+/// these helpers instead of their leaky standard-library counterparts.
+
+namespace ppds {
+
+namespace detail {
+
+/// Optimization barrier: tells the compiler the bytes at \p p have been
+/// observed, so preceding stores to them cannot be elided. No code is
+/// emitted on GCC/Clang.
+inline void ct_barrier(const volatile void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r"(p) : "memory");
+#else
+  // Fallback: a volatile read the compiler must honor.
+  (void)*static_cast<const volatile unsigned char*>(p);
+#endif
+}
+
+}  // namespace detail
+
+/// Constant-time byte-wise equality. Runs in time dependent only on the
+/// lengths (which are treated as public); never short-circuits on the first
+/// mismatch. Unequal lengths compare unequal without touching the data.
+[[nodiscard]] inline bool ct_equal(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  volatile std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff = diff | static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+/// Zeroes \p data in a way the optimizer cannot remove. Works for any
+/// trivially-copyable element type (uint8_t pads, uint32_t hash state,
+/// long double interpolation scratch, field elements, ...).
+template <typename T, std::size_t Extent>
+  requires std::is_trivially_copyable_v<T>
+inline void secure_wipe(std::span<T, Extent> data) noexcept {
+  // Accessing any object's storage through unsigned char* is sanctioned by
+  // the aliasing rules; this is the one place the codebase does it.
+  auto* bytes = reinterpret_cast<volatile unsigned char*>(data.data());  // NOLINT(cppcoreguidelines-pro-type-reinterpret-cast)
+  const std::size_t n = data.size_bytes();
+  for (std::size_t i = 0; i < n; ++i) bytes[i] = 0;
+  if (n != 0) detail::ct_barrier(data.data());
+}
+
+/// Wipes a single trivially-copyable object (a Digest, a fixed array, a
+/// POD struct holding key material).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+inline void secure_wipe_object(T& obj) noexcept {
+  secure_wipe(std::span<T, 1>(&obj, 1));
+}
+
+}  // namespace ppds

@@ -150,6 +150,9 @@ class PrecomputedOtSender : public OtSender {
   PrecomputedOtSender(net::Endpoint& channel, NaorPinkasSender& base,
                       std::size_t slots, Rng& rng);
 
+  /// Wipes the unconsumed precomputed pads (offline key material).
+  ~PrecomputedOtSender() override;
+
   void send(net::Endpoint& channel, std::span<const Bytes> messages,
             std::size_t k) override;
 
@@ -172,6 +175,9 @@ class PrecomputedOtReceiver : public OtReceiver {
  public:
   PrecomputedOtReceiver(net::Endpoint& channel, NaorPinkasReceiver& base,
                         std::size_t slots, Rng& rng);
+
+  /// Wipes the unconsumed precomputed pads (offline key material).
+  ~PrecomputedOtReceiver() override;
 
   std::vector<Bytes> receive(net::Endpoint& channel,
                              std::span<const std::size_t> indices,

@@ -18,6 +18,11 @@ namespace ppds::crypto {
 class Prg {
  public:
   explicit Prg(const Digest& seed) : seed_(seed) {}
+  Prg(const Prg&) = default;
+  Prg& operator=(const Prg&) = default;
+
+  /// Wipes the seed and the buffered keystream block on destruction.
+  ~Prg();
 
   /// Next \p n keystream bytes.
   Bytes next(std::size_t n);

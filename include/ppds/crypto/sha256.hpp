@@ -21,13 +21,16 @@ using Digest = std::array<std::uint8_t, 32>;
 class Sha256 {
  public:
   Sha256() { reset(); }
+  Sha256(const Sha256&) = default;
+  Sha256& operator=(const Sha256&) = default;
+
+  /// Wipes the chaining state and the buffered message tail — when the hash
+  /// keys an OT pad or the PRG, both are key material.
+  ~Sha256();
 
   void reset();
   void update(std::span<const std::uint8_t> data);
-  void update(const std::string& s) {
-    update(std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
-  }
+  void update(const std::string& s) { update(as_u8_span(s)); }
 
   /// Finalizes and returns the digest. The object must be reset() before
   /// reuse.

@@ -1,5 +1,6 @@
 #include "ppds/crypto/group.hpp"
 
+#include "ppds/common/ct.hpp"
 #include "ppds/common/error.hpp"
 
 namespace ppds::crypto {
@@ -129,8 +130,9 @@ mpz_class DhGroup::deserialize(std::span<const std::uint8_t> data) const {
 
 Digest DhGroup::hash_to_key(const mpz_class& x, std::uint64_t tag) const {
   Sha256 h;
-  const Bytes elem = serialize(x);
+  Bytes elem = serialize(x);  // serialized DH shared secret
   h.update(elem);
+  secure_wipe(std::span(elem));
   std::uint8_t tag_bytes[8];
   for (int i = 0; i < 8; ++i) tag_bytes[i] = static_cast<std::uint8_t>(tag >> (8 * i));
   h.update(std::span<const std::uint8_t>(tag_bytes, 8));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ppds/common/ct.hpp"
 #include "ppds/common/error.hpp"
 #include "ppds/crypto/prg.hpp"
 
@@ -10,6 +11,10 @@ namespace ppds::crypto {
 namespace {
 
 std::size_t bits_for(std::size_t n) {
+  // Callers handle n <= 1 before the bit decomposition; without this guard
+  // `n - 1` underflows to SIZE_MAX for n == 0 and the answer silently
+  // becomes 64.
+  detail::require(n >= 2, "ot: bits_for requires n >= 2");
   std::size_t bits = 0;
   std::size_t v = n - 1;
   while (v > 0) {
@@ -17,6 +22,17 @@ std::size_t bits_for(std::size_t n) {
     v >>= 1;
   }
   return std::max<std::size_t>(bits, 1);
+}
+
+void wipe_key_pairs(std::vector<std::array<Bytes, 2>>& keys) {
+  for (auto& pair : keys) {
+    secure_wipe(std::span(pair[0]));
+    secure_wipe(std::span(pair[1]));
+  }
+}
+
+void wipe_all(std::vector<Bytes>& buffers) {
+  for (Bytes& b : buffers) secure_wipe(std::span(b));
 }
 
 void check_equal_lengths(std::span<const Bytes> messages) {
@@ -120,6 +136,7 @@ void NaorPinkasSender::send_1ofn(net::Endpoint& channel,
   for (std::size_t j = 0; j < nbits; ++j) {
     send_1of2(channel, keys[j][0], keys[j][1]);
   }
+  wipe_key_pairs(keys);
 }
 
 Bytes NaorPinkasReceiver::receive_1ofn(net::Endpoint& channel,
@@ -144,7 +161,11 @@ Bytes NaorPinkasReceiver::receive_1ofn(net::Endpoint& channel,
 
   Bytes cipher(ciphertexts.begin() + static_cast<std::ptrdiff_t>(index * message_len),
                ciphertexts.begin() + static_cast<std::ptrdiff_t>((index + 1) * message_len));
-  return xor_pad(sha256_tagged(parts), cipher);
+  Digest pad_key = sha256_tagged(parts);
+  wipe_all(parts);
+  Bytes plain = xor_pad(pad_key, cipher);
+  secure_wipe(std::span(pad_key));
+  return plain;
 }
 
 /// --- k-out-of-n on top --------------------------------------------------------
@@ -215,6 +236,13 @@ PrecomputedOtSender::PrecomputedOtSender(net::Endpoint& channel,
     : rng_(rng),
       slots_(precompute_ot_sender(channel, base, slots, 32, rng)) {}
 
+PrecomputedOtSender::~PrecomputedOtSender() {
+  for (PrecomputedSendSlot& slot : slots_) {
+    secure_wipe(std::span(slot.r0));
+    secure_wipe(std::span(slot.r1));
+  }
+}
+
 void PrecomputedOtSender::send_1ofn(net::Endpoint& channel,
                                     std::span<const Bytes> messages) {
   check_equal_lengths(messages);
@@ -254,6 +282,7 @@ void PrecomputedOtSender::send_1ofn(net::Endpoint& channel,
   for (std::size_t j = 0; j < nbits; ++j) {
     precomputed_send_1of2(channel, slots_[next_++], keys[j][0], keys[j][1]);
   }
+  wipe_key_pairs(keys);
 }
 
 void PrecomputedOtSender::send(net::Endpoint& channel,
@@ -270,6 +299,12 @@ PrecomputedOtReceiver::PrecomputedOtReceiver(net::Endpoint& channel,
                                              NaorPinkasReceiver& base,
                                              std::size_t slots, Rng& rng)
     : slots_(precompute_ot_receiver(channel, base, slots, 32, rng)) {}
+
+PrecomputedOtReceiver::~PrecomputedOtReceiver() {
+  for (PrecomputedRecvSlot& slot : slots_) {
+    secure_wipe(std::span(slot.pad));
+  }
+}
 
 Bytes PrecomputedOtReceiver::receive_1ofn(net::Endpoint& channel,
                                           std::size_t index, std::size_t n,
@@ -297,7 +332,11 @@ Bytes PrecomputedOtReceiver::receive_1ofn(net::Endpoint& channel,
 
   Bytes cipher(ciphertexts.begin() + static_cast<std::ptrdiff_t>(index * message_len),
                ciphertexts.begin() + static_cast<std::ptrdiff_t>((index + 1) * message_len));
-  return xor_pad(sha256_tagged(parts), cipher);
+  Digest pad_key = sha256_tagged(parts);
+  wipe_all(parts);
+  Bytes plain = xor_pad(pad_key, cipher);
+  secure_wipe(std::span(pad_key));
+  return plain;
 }
 
 std::vector<Bytes> PrecomputedOtReceiver::receive(

@@ -1,6 +1,13 @@
 #include "ppds/crypto/prg.hpp"
 
+#include "ppds/common/ct.hpp"
+
 namespace ppds::crypto {
+
+Prg::~Prg() {
+  secure_wipe(std::span(seed_));
+  secure_wipe(std::span(block_));
+}
 
 void Prg::refill() {
   Sha256 h;
@@ -28,8 +35,9 @@ Bytes Prg::next(std::size_t n) {
 }
 
 void Prg::xor_into(std::span<std::uint8_t> data) {
-  const Bytes stream = next(data.size());
+  Bytes stream = next(data.size());
   for (std::size_t i = 0; i < data.size(); ++i) data[i] ^= stream[i];
+  secure_wipe(std::span(stream));
 }
 
 std::uint64_t Prg::next_u64() {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "ppds/common/ct.hpp"
+
 namespace ppds::crypto {
 
 namespace {
@@ -24,6 +26,11 @@ inline std::uint32_t rotr(std::uint32_t x, int n) {
 }
 
 }  // namespace
+
+Sha256::~Sha256() {
+  secure_wipe(std::span(h_));
+  secure_wipe(std::span(buf_));
+}
 
 void Sha256::reset() {
   h_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
@@ -72,6 +79,10 @@ Digest Sha256::finish() {
     out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
     out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
   }
+  // The buffer still holds the final message block (key material when this
+  // hash derives OT pads); the caller only gets the digest.
+  secure_wipe(std::span(buf_));
+  buf_len_ = 0;
   return out;
 }
 
@@ -114,6 +125,8 @@ void Sha256::compress(const std::uint8_t* block) {
   h_[5] += f;
   h_[6] += g;
   h_[7] += h;
+  // The expanded schedule is message-derived; don't leave it on the stack.
+  secure_wipe(std::span(w));
 }
 
 Digest sha256(std::span<const std::uint8_t> data) {

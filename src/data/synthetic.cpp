@@ -263,7 +263,12 @@ const std::vector<DatasetSpec>& table1_specs() {
     for (int i = 1; i <= 9; ++i) {
       // a1a..a9a share structure; only the size grows (1605 -> 32561 in the
       // paper; we scale 300 -> 2700, same 123-dim feature space).
-      auto s = make_spec("a" + std::to_string(i) + "a", 123,
+      // Built with += rather than chained operator+ to dodge the GCC 12
+      // -Wrestrict false positive on "lit" + to_string(i) + "lit" (PR105651).
+      std::string name = "a";
+      name += std::to_string(i);
+      name += 'a';
+      auto s = make_spec(name, 123,
                          static_cast<std::size_t>(200 + 100 * i),
                          static_cast<std::size_t>(300 * i),
                          static_cast<std::size_t>(1605 + (32561 - 1605) * (i - 1) / 8),

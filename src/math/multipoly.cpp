@@ -57,7 +57,20 @@ double MultiPoly::evaluate(const std::vector<double>& x) const {
 }
 
 void MultiPoly::compact(double drop_below) {
-  std::map<Exponents, double> merged;
+  // Element-wise comparator instead of std::less<vector>: the defaulted
+  // operator<=> lowers to a memcmp that GCC 12 -O3 misdiagnoses with
+  // -Wstringop-overread (impossible [2^63, 2^64) bound), and all keys here
+  // share the same arity anyway.
+  struct ExpLess {
+    bool operator()(const Exponents& a, const Exponents& b) const {
+      if (a.size() != b.size()) return a.size() < b.size();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return a[i] < b[i];
+      }
+      return false;
+    }
+  };
+  std::map<Exponents, double, ExpLess> merged;
   for (const Term& t : terms_) merged[t.exps] += t.coeff;
   terms_.clear();
   for (auto& [exps, coeff] : merged) {

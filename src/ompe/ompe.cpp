@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "ppds/common/ct.hpp"
 #include "ppds/common/error.hpp"
 #include "ppds/field/encoding.hpp"
 #include "ppds/math/interpolate.hpp"
@@ -247,6 +248,9 @@ void run_sender_impl(
   }
 
   ot.send(channel, values, m);
+  // Only m of the M evaluations were transferred; the rest stay secret and
+  // must not linger in freed heap pages.
+  for (Bytes& v : values) secure_wipe(std::span(v));
 }
 
 }  // namespace
@@ -267,6 +271,7 @@ void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
       [&secret, &coeffs](const std::vector<M61>& z) {
         return evaluate_field(secret, coeffs, z);
       });
+  secure_wipe(std::span(coeffs));
 }
 
 void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
@@ -310,6 +315,9 @@ void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
         for (std::size_t i = 0; i < z.size(); ++i) acc = acc + w_enc[i] * z[i];
         return acc;
       });
+  // The encoded model weights mirror the caller's secret model.
+  secure_wipe(std::span(w_enc));
+  secure_wipe_object(b_enc);
 }
 
 double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
@@ -361,7 +369,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
     }
     channel.send(w.take());
 
-    const std::vector<Bytes> replies = ot.receive(channel, keep, big_m, 8);
+    std::vector<Bytes> replies = ot.receive(channel, keep, big_m, 8);
     std::vector<long double> xs(m), ys(m);
     for (std::size_t j = 0; j < m; ++j) {
       ByteReader vr(replies[j]);
@@ -369,7 +377,14 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
       ys[j] = static_cast<long double>(vr.f64());
       vr.expect_end();
     }
-    return static_cast<double>(math::lagrange_at_zero<long double>(xs, ys));
+    const double result =
+        static_cast<double>(math::lagrange_at_zero<long double>(xs, ys));
+    // The transferred evaluations and interpolation scratch reveal which
+    // pairs were kept; wipe before the buffers return to the allocator.
+    for (Bytes& rep : replies) secure_wipe(std::span(rep));
+    secure_wipe(std::span(xs));
+    secure_wipe(std::span(ys));
+    return result;
   }
 
   // Field backend.
@@ -398,7 +413,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
   }
   channel.send(w.take());
 
-  const std::vector<Bytes> replies = ot.receive(channel, keep, big_m, 8);
+  std::vector<Bytes> replies = ot.receive(channel, keep, big_m, 8);
   std::vector<M61> xs(m), ys(m);
   for (std::size_t j = 0; j < m; ++j) {
     ByteReader vr(replies[j]);
@@ -407,6 +422,9 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
     vr.expect_end();
   }
   const M61 b0 = math::lagrange_at_zero<M61>(xs, ys);
+  for (Bytes& rep : replies) secure_wipe(std::span(rep));
+  secure_wipe(std::span(xs));
+  secure_wipe(std::span(ys));
   return field::decode(fp, b0, degree + 1);
 }
 

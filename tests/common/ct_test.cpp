@@ -1,0 +1,124 @@
+#include "ppds/common/ct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace ppds {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TEST(CtEqual, EqualBuffers) {
+  const std::vector<std::uint8_t> a{1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> b{1, 2, 3, 4, 5};
+  EXPECT_TRUE(ct_equal(a, b));
+}
+
+TEST(CtEqual, DifferenceAnywhereIsDetected) {
+  const std::vector<std::uint8_t> a(64, 0xAB);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::vector<std::uint8_t> b = a;
+    b[i] ^= 0x01;
+    EXPECT_FALSE(ct_equal(a, b)) << "difference at byte " << i;
+  }
+}
+
+TEST(CtEqual, EmptySpansAreEqual) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_TRUE(ct_equal(empty, empty));
+  EXPECT_TRUE(ct_equal(std::span<const std::uint8_t>{},
+                       std::span<const std::uint8_t>{}));
+}
+
+TEST(CtEqual, UnequalLengthsAreUnequal) {
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{1, 2, 3, 4};
+  EXPECT_FALSE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(b, a));
+  EXPECT_FALSE(ct_equal(a, std::span<const std::uint8_t>{}));
+}
+
+/// Smoke test, not a statistical proof: the comparison must not short-circuit,
+/// so a mismatch in the first byte and a mismatch in the last byte should
+/// cost about the same. Bounds are deliberately loose — CI machines are
+/// noisy and sanitizer builds shift constants — but an early-exit memcmp
+/// would differ by orders of magnitude on 1 MiB inputs.
+TEST(CtEqual, TimingIndependentOfMismatchPosition) {
+  constexpr std::size_t kLen = 1 << 20;
+  const std::vector<std::uint8_t> base(kLen, 0x5A);
+  std::vector<std::uint8_t> first_differs = base;
+  first_differs[0] ^= 0xFF;
+  std::vector<std::uint8_t> last_differs = base;
+  last_differs[kLen - 1] ^= 0xFF;
+
+  constexpr int kTrials = 15;
+  std::vector<double> t_first, t_last;
+  bool sink = false;
+  for (int t = 0; t < kTrials; ++t) {
+    auto s0 = Clock::now();
+    sink ^= ct_equal(base, first_differs);
+    auto s1 = Clock::now();
+    sink ^= ct_equal(base, last_differs);
+    auto s2 = Clock::now();
+    t_first.push_back(std::chrono::duration<double>(s1 - s0).count());
+    t_last.push_back(std::chrono::duration<double>(s2 - s1).count());
+  }
+  EXPECT_FALSE(sink);  // both comparisons report unequal
+
+  auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double mf = median(t_first), ml = median(t_last);
+  ASSERT_GT(mf, 0.0);
+  ASSERT_GT(ml, 0.0);
+  const double ratio = mf > ml ? mf / ml : ml / mf;
+  EXPECT_LT(ratio, 4.0) << "first=" << mf << "s last=" << ml << "s";
+}
+
+TEST(SecureWipe, ZeroesEveryByte) {
+  std::vector<std::uint8_t> key(257);
+  std::iota(key.begin(), key.end(), std::uint8_t{1});
+  secure_wipe(std::span(key));
+  EXPECT_TRUE(std::all_of(key.begin(), key.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(SecureWipe, EmptySpanIsNoop) {
+  std::vector<std::uint8_t> empty;
+  secure_wipe(std::span(empty));  // must not crash on nullptr data()
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(SecureWipe, WorksOnWiderElementTypes) {
+  std::array<std::uint32_t, 8> state;
+  state.fill(0xDEADBEEF);
+  secure_wipe(std::span(state));
+  for (std::uint32_t w : state) EXPECT_EQ(w, 0u);
+
+  std::vector<long double> scratch(16, 3.25L);
+  secure_wipe(std::span(scratch));
+  for (long double x : scratch) EXPECT_EQ(x, 0.0L);
+}
+
+TEST(SecureWipe, ObjectOverloadZeroesWholeObject) {
+  struct Slot {
+    std::uint64_t key;
+    std::uint8_t pad[24];
+  };
+  Slot slot{};
+  slot.key = 0x0123456789ABCDEFULL;
+  for (auto& b : slot.pad) b = 0xFF;
+  secure_wipe_object(slot);
+  EXPECT_EQ(slot.key, 0u);
+  for (auto& b : slot.pad) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace ppds

@@ -97,6 +97,32 @@ TEST(NaorPinkasOt, KOutOfNRetrievesExactlyRequested) {
   for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(outcome.b[i], msgs[want[i]]);
 }
 
+TEST(NaorPinkasOt, ZeroMessagesRejected) {
+  auto [a, b] = net::make_channel();
+  Rng rng(1);
+  NaorPinkasSender s(test_group(), rng);
+  const std::vector<Bytes> none;
+  EXPECT_THROW(s.send(a, none, 1), Error);
+}
+
+// Regression: n == 0 used to reach bits_for(), where `n - 1` underflows to
+// SIZE_MAX and the bit count silently became 64. Every zero-n path must
+// throw instead.
+TEST(NaorPinkasOt, ZeroNReceiveRejected) {
+  auto [a, b] = net::make_channel();
+  Rng rng(2);
+  NaorPinkasReceiver r(test_group(), rng);
+  const std::vector<std::size_t> idx{0};
+  EXPECT_THROW(r.receive(b, idx, 0, 8), Error);
+}
+
+TEST(PrecomputedEngine, IndexBitsBoundaries) {
+  // n <= 1 never enters the bit decomposition (message sent directly).
+  EXPECT_EQ(index_bits(0), 0u);
+  EXPECT_EQ(index_bits(1), 0u);
+  EXPECT_EQ(index_bits(2), 1u);
+}
+
 TEST(NaorPinkasOt, IndexOutOfRangeThrows) {
   const auto msgs = make_messages(4, 8);
   EXPECT_THROW(

@@ -154,8 +154,8 @@ INSTANTIATE_TEST_SUITE_P(
         // paper:             both very high
         AccuracyCase{"ionosphere", 0.88, 1.0, 0.90, 1.0},
         AccuracyCase{"breast-cancer", 0.91, 1.0, 0.92, 1.0}),
-    [](const auto& info) {
-      std::string n = info.param.name;
+    [](const auto& param_info) {
+      std::string n = param_info.param.name;
       for (char& c : n) {
         if (c == '-' || c == '.') c = '_';
       }

@@ -73,8 +73,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, OmpeFuzz,
                          ::testing::Values(FuzzCase{11}, FuzzCase{23},
                                            FuzzCase{37}, FuzzCase{59},
                                            FuzzCase{71}, FuzzCase{83}),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param.seed);
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param.seed);
                          });
 
 class OmpeWireFuzz : public ::testing::TestWithParam<int> {};

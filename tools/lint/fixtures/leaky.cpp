@@ -1,0 +1,51 @@
+// Negative fixture for tools/lint/secret_hygiene.py. NEVER compiled or
+// linked — it exists so `secret_hygiene.py --self-test` can prove that every
+// rule still fires and that the suppression syntax still silences findings.
+// Each block below seeds exactly the violation named in its comment.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using Bytes = int;  // stand-in; the linter is textual
+
+// [insecure-rand] libc rand()/srand() in crypto code.
+int weak_random() {
+  srand(42);
+  return rand();
+}
+
+// [memcmp-on-secret] early-exit comparison of key material.
+bool compare_tags(const unsigned char* a, const unsigned char* b) {
+  return std::memcmp(a, b, 32) == 0;
+}
+
+// [secret-compare] operator== on secret-named buffers.
+bool keys_match(const Bytes& session_key, const Bytes& expected_key) {
+  return session_key == expected_key;
+}
+
+// [secret-stream] key material reaching a console/log.
+void debug_dump(const Bytes& master_seed) {
+  std::cout << "seed is " << master_seed << "\n";
+  printf("pad=%d\n", master_seed);
+}
+
+// [missing-wipe] this file declares an owning secret buffer below and never
+// wipes it before scope exit.
+void derive() {
+  std::uint8_t round_key[32] = {0};
+  (void)round_key;
+}
+
+// Suppression coverage: these would fire but are allowed; the self-test
+// asserts they stay silent (MUST-NOT-FLAG markers).
+int sanctioned() {
+  // hygiene: allow(insecure-rand) -- fixture: proving suppression works
+  return rand();  // MUST-NOT-FLAG
+}
+
+bool sanctioned_compare(const Bytes& public_key_fingerprint, const Bytes& other) {
+  return public_key_fingerprint == other;  // hygiene: allow(secret-compare) MUST-NOT-FLAG
+}
