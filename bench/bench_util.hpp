@@ -1,13 +1,21 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 /// \file bench_util.hpp
 /// Shared console-table helpers for the experiment regenerators. Each bench
 /// binary prints the rows/series of one table or figure of the paper, plus
 /// the paper's reference values where applicable.
+///
+/// Benches that feed the performance-tracking workflow additionally emit a
+/// machine-readable BENCH_<name>.json via the Json builder (schema in
+/// docs/PERFORMANCE.md) so CI can archive and diff results across commits.
 
 namespace ppds::bench {
 
@@ -26,5 +34,137 @@ inline void banner(const std::string& title) {
 inline void note(const std::string& text) {
   std::printf("note: %s\n", text.c_str());
 }
+
+/// True when \p flag (e.g. "--quick") appears among the CLI arguments.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Minimal ordered JSON builder — just enough for flat benchmark reports
+/// (objects, arrays, numbers, strings, booleans). Keys keep insertion
+/// order so reports diff cleanly across runs.
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  Json& set(const std::string& key, Json value) {
+    members_.emplace_back(key, std::make_unique<Json>(std::move(value)));
+    return *this;
+  }
+  Json& set(const std::string& key, const std::string& value) {
+    return set(key, scalar(quote(value)));
+  }
+  Json& set(const std::string& key, const char* value) {
+    return set(key, scalar(quote(value)));
+  }
+  Json& set(const std::string& key, double value) {
+    return set(key, scalar(number(value)));
+  }
+  Json& set(const std::string& key, std::uint64_t value) {
+    return set(key, scalar(std::to_string(value)));
+  }
+  Json& set(const std::string& key, int value) {
+    return set(key, scalar(std::to_string(value)));
+  }
+  Json& set(const std::string& key, bool value) {
+    return set(key, scalar(value ? "true" : "false"));
+  }
+
+  Json& push(Json value) {
+    members_.emplace_back(std::string(),
+                          std::make_unique<Json>(std::move(value)));
+    return *this;
+  }
+
+  std::string dump(int indent = 2) const {
+    std::string out;
+    write(out, indent, 0);
+    out.push_back('\n');
+    return out;
+  }
+
+  /// Writes the document to \p path (truncating), throwing on I/O failure.
+  void write_file(const std::string& path, int indent = 2) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) throw std::runtime_error("Json: cannot open " + path);
+    const std::string text = dump(indent);
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const int close_err = std::fclose(f);
+    if (written != text.size() || close_err != 0) {
+      throw std::runtime_error("Json: short write to " + path);
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kScalar };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static Json scalar(std::string text) {
+    Json j(Kind::kScalar);
+    j.scalar_ = std::move(text);
+    return j;
+  }
+
+  static std::string number(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    // JSON has no inf/nan; benches only report finite values, but keep the
+    // document parseable if one slips through.
+    if (std::strchr(buf, 'n') != nullptr || std::strchr(buf, 'i') != nullptr) {
+      return "null";
+    }
+    return buf;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    if (kind_ == Kind::kScalar) {
+      out += scalar_;
+      return;
+    }
+    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+    out.push_back(kind_ == Kind::kObject ? '{' : '[');
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += pad;
+      if (kind_ == Kind::kObject) {
+        out += quote(members_[i].first);
+        out += ": ";
+      }
+      members_[i].second->write(out, indent, depth + 1);
+    }
+    if (!members_.empty()) {
+      out.push_back('\n');
+      out += close_pad;
+    }
+    out.push_back(kind_ == Kind::kObject ? '}' : ']');
+  }
+
+  Kind kind_ = Kind::kObject;
+  std::string scalar_;
+  std::vector<std::pair<std::string, std::unique_ptr<Json>>> members_;
+};
 
 }  // namespace ppds::bench

@@ -4,6 +4,9 @@
 /// rounds). The paper's shape: the private curve grows much faster with the
 /// dimension, because each extra dimension adds random cover polynomials
 /// rather than one multiplication.
+///
+/// Emits BENCH_similarity.json (schema: docs/PERFORMANCE.md). --quick trims
+/// dimensions and repetitions for CI smoke runs.
 
 #include <cstdio>
 
@@ -12,17 +15,26 @@
 #include "ppds/core/similarity.hpp"
 #include "ppds/net/party.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppds;
+  const bool quick = bench::has_flag(argc, argv, "--quick");
   bench::banner("FIG. 10: Similarity-evaluation cost vs hyperplane dimension");
   bench::note("mean over repetitions; loopback OT (see ablation_ot_engines)");
   std::printf("%-4s | %14s | %14s | %8s | %12s\n", "dim", "ordinary (us)",
               "private (us)", "ratio", "wire bytes");
   bench::rule(64);
 
+  auto report = bench::Json::object();
+  report.set("figure", "fig10_similarity_cost");
+  report.set("quick", quick);
+  auto rows = bench::Json::array();
+
   const core::DataSpace space;
   const auto cfg = core::SchemeConfig::fast_simulation();
-  for (std::size_t dim = 2; dim <= 8; ++dim) {
+  const std::size_t max_dim = quick ? 4 : 8;
+  const int ord_reps = quick ? 2000 : 20000;
+  const int priv_reps = quick ? 20 : 200;
+  for (std::size_t dim = 2; dim <= max_dim; ++dim) {
     Rng rng(100 + dim);
     auto random_model = [&]() {
       math::Vec w(dim);
@@ -38,7 +50,6 @@ int main() {
     // are computed once at construction). Averaged over many repetitions.
     const auto pa = core::PreparedModel::prepare(a, space);
     const auto pb = core::PreparedModel::prepare(b, space);
-    const int ord_reps = 20000;
     Stopwatch watch;
     double sink = 0.0;
     for (int r = 0; r < ord_reps; ++r) {
@@ -47,7 +58,6 @@ int main() {
     const double ordinary_us = watch.micros() / ord_reps;
 
     // Private: average over fewer repetitions.
-    const int priv_reps = 200;
     core::SimilarityServer server(a, space, cfg);
     core::SimilarityClient client(b, space, cfg);
     std::uint64_t wire_bytes = 0;
@@ -67,11 +77,21 @@ int main() {
           (void)acc;
           return priv_watch.micros() / priv_reps;
         });
-    wire_bytes = (outcome.a_sent.bytes + outcome.b_sent.bytes) / priv_reps;
+    wire_bytes = (outcome.a_sent.bytes + outcome.b_sent.bytes) /
+                 static_cast<std::uint64_t>(priv_reps);
     std::printf("%-4zu | %14.2f | %14.2f | %7.1fx | %12llu\n", dim,
                 ordinary_us, outcome.b, outcome.b / ordinary_us,
                 static_cast<unsigned long long>(wire_bytes));
     (void)sink;
+
+    auto row = bench::Json::object();
+    row.set("dim", dim);
+    row.set("ordinary_us", ordinary_us);
+    row.set("private_us", outcome.b);
+    row.set("wire_bytes", wire_bytes);
+    rows.push(std::move(row));
   }
+  report.set("rows", std::move(rows));
+  report.write_file("BENCH_similarity.json");
   return 0;
 }

@@ -11,12 +11,25 @@
 ///    the full test size (the per-query cost is constant within a dataset);
 ///  * the paper reports "about 4 times more than the original schemes" with
 ///    precomputed random polynomials; we print the measured ratio.
+///
+/// A second section measures the SECURE engine's multi-query throughput:
+/// the sequential baseline (per-query Naor-Pinkas OT, no fixed-base
+/// acceleration — the pre-throughput-engine path) against the batched
+/// engine (amortized offline OT + fixed-base tables + session pool), with
+/// the process-wide exponentiation counters bracketing each run. Results
+/// land in BENCH_classification.json (schema: docs/PERFORMANCE.md).
+///
+/// Flags: --quick trims the loopback sweep to a1a and shrinks the secure
+/// batch (CI smoke); the JSON records which mode produced it.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "ppds/common/stopwatch.hpp"
-#include "ppds/core/classification.hpp"
+#include "ppds/core/session_pool.hpp"
+#include "ppds/crypto/group.hpp"
 #include "ppds/data/synthetic.hpp"
 #include "ppds/net/party.hpp"
 #include "ppds/svm/smo.hpp"
@@ -50,9 +63,98 @@ double private_ms_per_query(const svm::SvmModel& model,
   return outcome.b;
 }
 
+struct SecureRun {
+  double wall_ms = 0.0;
+  double queries_per_sec = 0.0;
+  double exp_full_per_query = 0.0;
+  double exp_fixed_base_per_query = 0.0;
+};
+
+bench::Json secure_run_json(const SecureRun& run) {
+  auto j = bench::Json::object();
+  j.set("wall_ms", run.wall_ms);
+  j.set("queries_per_sec", run.queries_per_sec);
+  j.set("exp_full_per_query", run.exp_full_per_query);
+  j.set("exp_fixed_base_per_query", run.exp_fixed_base_per_query);
+  return j;
+}
+
+/// Secure-engine throughput: \p queries linear classifications over real
+/// Naor-Pinkas machinery (kModp1024). `batched` selects the throughput
+/// engine (precomputed batched OT + fixed-base tables + session pool) vs
+/// the sequential per-query baseline.
+SecureRun secure_throughput(std::size_t queries, bool batched) {
+  const std::size_t dim = 16;
+  Rng setup_rng(42);
+  math::Vec w(dim);
+  for (auto& v : w) v = setup_rng.uniform_nonzero(-1.0, 1.0, 0.05);
+  const svm::SvmModel model(svm::Kernel::linear(), {w}, {1.0},
+                            setup_rng.uniform(-0.2, 0.2));
+  const auto profile = core::ClassificationProfile::make(dim, model.kernel());
+
+  core::SchemeConfig cfg;
+  cfg.group = crypto::GroupId::kModp1024;
+  cfg.ompe.q = 4;
+  cfg.ompe.k = 2;
+  cfg.ot_engine = batched ? core::OtEngine::kPrecomputed
+                          : core::OtEngine::kNaorPinkas;
+  cfg.fixed_base_tables = batched;
+
+  const core::ClassificationServer server(model, profile, cfg);
+  const core::ClassificationClient client(profile, cfg);
+
+  std::vector<std::vector<double>> samples(queries);
+  for (auto& s : samples) {
+    s.resize(dim);
+    for (auto& v : s) v = setup_rng.uniform(-1.0, 1.0);
+  }
+
+  if (batched) {
+    // The process-wide generator table is built once per group on first use;
+    // steady-state throughput should not bill that one-time cost to this run.
+    (void)crypto::shared_group(cfg.group).pow_g(mpz_class(3));
+  }
+
+  crypto::reset_exp_counters();
+  Stopwatch watch;
+  if (batched) {
+    core::SessionPool pool(server, client, profile, cfg);
+    // One session per batch: the whole offline OT phase collapses into a
+    // single amortized round trip.
+    (void)pool.classify_batch(samples, /*seed=*/7, /*chunk_size=*/queries);
+  } else {
+    auto outcome = net::run_two_party(
+        [&](net::Endpoint& ch) {
+          Rng rng(1);
+          server.serve(ch, queries, rng);
+          return 0;
+        },
+        [&](net::Endpoint& ch) {
+          Rng rng(2);
+          int acc = 0;
+          for (const auto& s : samples) acc += client.classify(ch, s, rng);
+          return acc;
+        });
+    (void)outcome;
+  }
+  SecureRun run;
+  run.wall_ms = watch.millis();
+  const crypto::ExpCounters exps = crypto::exp_counters();
+  const double q = static_cast<double>(queries);
+  run.queries_per_sec = 1000.0 * q / run.wall_ms;
+  run.exp_full_per_query = static_cast<double>(exps.full) / q;
+  run.exp_fixed_base_per_query = static_cast<double>(exps.fixed_base) / q;
+  return run;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  auto report = bench::Json::object();
+  report.set("figure", "fig9_classification_cost");
+  report.set("quick", quick);
+
   bench::banner("FIG. 9: Classification cost vs data size (a1a..a9a)");
   bench::note(
       "times in ms for the FULL test set; private figures scaled from a "
@@ -62,7 +164,9 @@ int main() {
               "ratio");
   bench::rule(92);
 
-  for (int i = 1; i <= 9; ++i) {
+  auto loopback_rows = bench::Json::array();
+  const int last_set = quick ? 1 : 9;
+  for (int i = 1; i <= last_set; ++i) {
     const auto spec = *data::spec_by_name("a" + std::to_string(i) + "a");
     auto [train, test] = data::generate(spec);
     const std::size_t n_test = test.size();
@@ -99,6 +203,51 @@ int main() {
     std::printf("a%da %9zu | %12.1f %12.1f %6.1fx | %12.1f %12.1f %6.1fx\n", i,
                 n_test, lin_orig_ms, lin_priv_ms, lin_priv_ms / lin_orig_ms,
                 poly_orig_ms, poly_priv_ms, poly_priv_ms / poly_orig_ms);
+
+    auto row = bench::Json::object();
+    row.set("set", "a" + std::to_string(i) + "a");
+    row.set("queries", n_test);
+    row.set("linear_original_ms", lin_orig_ms);
+    row.set("linear_private_ms", lin_priv_ms);
+    row.set("nonlinear_original_ms", poly_orig_ms);
+    row.set("nonlinear_private_ms", poly_priv_ms);
+    loopback_rows.push(std::move(row));
   }
+  report.set("loopback", std::move(loopback_rows));
+
+  // --- Secure-engine throughput: sequential seed path vs batched engine ---
+  bench::banner("Secure-engine multi-query throughput (kModp1024, linear)");
+  bench::note(
+      "sequential = per-query Naor-Pinkas OT, no fixed-base tables; "
+      "batched = amortized offline OT + fixed-base tables + session pool");
+
+  const std::size_t queries = quick ? 4 : 24;
+  const SecureRun seq = secure_throughput(queries, /*batched=*/false);
+  const SecureRun bat = secure_throughput(queries, /*batched=*/true);
+  const double speedup = seq.wall_ms / bat.wall_ms;
+
+  std::printf("%-12s | %10s | %10s | %12s | %12s\n", "engine", "wall ms",
+              "q/s", "full exp/q", "fixed exp/q");
+  bench::rule(68);
+  std::printf("%-12s | %10.1f | %10.2f | %12.1f | %12.1f\n", "sequential",
+              seq.wall_ms, seq.queries_per_sec, seq.exp_full_per_query,
+              seq.exp_fixed_base_per_query);
+  std::printf("%-12s | %10.1f | %10.2f | %12.1f | %12.1f\n", "batched",
+              bat.wall_ms, bat.queries_per_sec, bat.exp_full_per_query,
+              bat.exp_fixed_base_per_query);
+  std::printf("speedup: %.2fx (full exponentiations saved per query: %.1f)\n",
+              speedup, seq.exp_full_per_query - bat.exp_full_per_query);
+
+  auto secure = bench::Json::object();
+  secure.set("group", "modp1024");
+  secure.set("queries", queries);
+  secure.set("sequential", secure_run_json(seq));
+  secure.set("batched", secure_run_json(bat));
+  secure.set("speedup", speedup);
+  secure.set("exp_full_saved_per_query",
+             seq.exp_full_per_query - bat.exp_full_per_query);
+  report.set("secure_throughput", std::move(secure));
+
+  report.write_file("BENCH_classification.json");
   return 0;
 }

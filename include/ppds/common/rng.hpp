@@ -4,7 +4,9 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "ppds/common/error.hpp"
@@ -59,6 +61,20 @@ class Rng {
     state_[2] ^= t;
     state_[3] = rotl(state_[3], 45);
     return result;
+  }
+
+  /// Fills \p out with uniform bytes, consuming one 64-bit draw per 8 bytes
+  /// (a per-byte operator() loop would discard 7/8 of every draw).
+  void fill_bytes(std::span<std::uint8_t> out) {
+    std::size_t i = 0;
+    for (; i + 8 <= out.size(); i += 8) {
+      const std::uint64_t word = (*this)();
+      std::memcpy(out.data() + i, &word, 8);
+    }
+    if (i < out.size()) {
+      const std::uint64_t word = (*this)();
+      std::memcpy(out.data() + i, &word, out.size() - i);
+    }
   }
 
   /// Uniform double in [lo, hi).

@@ -26,6 +26,11 @@ struct SchemeConfig {
   ompe::OmpeParams ompe;
   OtEngine ot_engine = OtEngine::kNaorPinkas;
   crypto::GroupId group = crypto::GroupId::kModp1536;
+  /// Fixed-base window-table acceleration for group exponentiations. A pure
+  /// local optimization: it never changes wire bytes, so the parties need
+  /// not agree on it (it is excluded from the protocol digest). Off is only
+  /// useful for baseline benchmarks and equivalence tests.
+  bool fixed_base_tables = true;
 
   /// Convenience presets.
   static SchemeConfig secure_default() { return SchemeConfig{}; }
@@ -40,14 +45,16 @@ struct SchemeConfig {
   }
 };
 
-/// Per-party OT engine bundle. The DhGroup is created lazily only for the
-/// Naor-Pinkas-based engines (it is the expensive part).
+/// Per-party OT engine bundle. Naor-Pinkas-based engines run over the
+/// process-wide shared_group() so the fixed-base generator table is built
+/// once and stays warm across sessions (unless cfg.fixed_base_tables is
+/// false, in which case a private unaccelerated group is created).
 ///
-/// For OtEngine::kPrecomputed the caller must run the offline phase over
-/// the protocol channel before the first transfer: the SENDER side calls
-/// prepare_sender() while the receiver side concurrently calls
-/// prepare_receiver(), both with the same slot count (use
-/// SchemeConfig + ompe parameters to size it; see ot_slots_per_query()).
+/// For OtEngine::kPrecomputed the engines are ready immediately and refill
+/// their slot pools on demand; calling prepare_sender() on the sender side
+/// while the receiver concurrently calls prepare_receiver() (same slot
+/// count, see ot_slots_per_query()) front-loads a whole session's offline
+/// phase into one batched round trip.
 class OtBundle {
  public:
   OtBundle(const SchemeConfig& cfg, Rng& rng);
@@ -62,11 +69,13 @@ class OtBundle {
  private:
   SchemeConfig cfg_;
   Rng* rng_ = nullptr;
-  std::unique_ptr<crypto::DhGroup> group_;
+  /// Only set when fixed_base_tables is off (shared_group otherwise).
+  std::unique_ptr<crypto::DhGroup> owned_group_;
   std::unique_ptr<crypto::OtSender> sender_;
   std::unique_ptr<crypto::OtReceiver> receiver_;
-  std::unique_ptr<crypto::NaorPinkasSender> base_sender_;
-  std::unique_ptr<crypto::NaorPinkasReceiver> base_receiver_;
+  /// Non-owning views into sender_/receiver_ when engine == kPrecomputed.
+  crypto::BatchedOtSender* batched_sender_ = nullptr;
+  crypto::BatchedOtReceiver* batched_receiver_ = nullptr;
 };
 
 /// Precomputed-OT slots one OMPE evaluation consumes: the m-out-of-M

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppds/common/thread_pool.hpp"
+#include "ppds/core/session.hpp"
+
+/// \file session_pool.hpp
+/// Parallel session layer: runs many independent two-party sessions
+/// concurrently on a ThreadPool.
+///
+/// One session is inherently sequential (its messages form a chain), so
+/// multi-query throughput comes from running whole SESSIONS in parallel:
+/// classify_batch() partitions the samples into fixed-size chunks and runs
+/// one complete session (handshake + queries) per chunk. Chunk boundaries
+/// and per-chunk RNG seeds depend only on (seed, chunk_size) — never on the
+/// thread count — so results are bit-identical across pool sizes, which the
+/// determinism tests pin down.
+///
+/// The crypto layer is shared safely: DhGroup is logically immutable (its
+/// lazy fixed-base table is built under std::call_once), and every session
+/// gets its own Rng, OtBundle and channel.
+
+namespace ppds::core {
+
+/// SplitMix64-mixed per-chunk seed: decorrelates chunk RNG streams even for
+/// adjacent (seed, stream) inputs.
+std::uint64_t chunk_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// Runs classification sessions (one server + one client pair per chunk)
+/// over an owned ThreadPool.
+class SessionPool {
+ public:
+  /// \p server and \p client must outlive the pool and agree on
+  /// (\p profile, \p config) — sessions fail their handshake otherwise.
+  SessionPool(const ClassificationServer& server,
+              const ClassificationClient& client,
+              ClassificationProfile profile, SchemeConfig config,
+              std::size_t threads = ThreadPool::default_concurrency());
+
+  /// Classifies all samples, \p chunk_size queries per session. Returns
+  /// labels in input order; deterministic given \p seed (thread-count
+  /// independent).
+  std::vector<int> classify_batch(
+      const std::vector<std::vector<double>>& samples, std::uint64_t seed,
+      std::size_t chunk_size = 8);
+
+  std::size_t threads() const { return pool_.size(); }
+
+ private:
+  const ClassificationServer* server_;
+  const ClassificationClient* client_;
+  ClassificationProfile profile_;
+  SchemeConfig config_;
+  ThreadPool pool_;
+};
+
+/// Runs independent similarity evaluations (one full session each) in
+/// parallel. Each evaluation compares the same two models, so this measures
+/// repeated-evaluation throughput (and exercises concurrency); results are
+/// deterministic in input order given \p seed.
+class SimilaritySessionPool {
+ public:
+  SimilaritySessionPool(const SimilarityServer& server,
+                        const SimilarityClient& client, svm::Kernel kernel,
+                        DataSpace space, SchemeConfig config,
+                        std::size_t threads = ThreadPool::default_concurrency());
+
+  std::vector<double> evaluate_batch(std::size_t count, std::uint64_t seed);
+
+  std::size_t threads() const { return pool_.size(); }
+
+ private:
+  const SimilarityServer* server_;
+  const SimilarityClient* client_;
+  svm::Kernel kernel_;
+  DataSpace space_;
+  SchemeConfig config_;
+  ThreadPool pool_;
+};
+
+}  // namespace ppds::core

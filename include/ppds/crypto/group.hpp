@@ -2,8 +2,12 @@
 
 #include <gmpxx.h>
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "ppds/common/bytes.hpp"
 #include "ppds/common/rng.hpp"
@@ -17,6 +21,19 @@
 /// of quadratic residues. Exponents are sampled in [1, q). Elements are
 /// serialized as fixed-width big-endian byte strings so wire sizes are
 /// predictable and countable.
+///
+/// Exponentiation comes in two speeds:
+///  * pow(base, e) — one full mpz_powm (arbitrary base);
+///  * fixed-base windowed exponentiation via a precomputed FixedBaseTable —
+///    the exponent is cut into w-bit windows and the result is a product of
+///    ceil(bits/w) table entries, no squarings online. The table for the
+///    group generator g is built lazily (thread-safe) on first pow_g; bases
+///    reused across many transfers (e.g. the amortized OT's g^r) get their
+///    own table via make_table().
+///
+/// Both paths feed global exponentiation counters (exp_counters()) so
+/// benchmarks can report how many full exponentiations a protocol change
+/// eliminated.
 
 namespace ppds::crypto {
 
@@ -27,20 +44,81 @@ enum class GroupId {
   kModp2048,  ///< RFC 3526 group 14
 };
 
-/// Multiplicative group wrapper. Immutable after construction; cheap to
-/// share by const reference between both protocol parties.
+/// Snapshot of the process-wide exponentiation counters.
+struct ExpCounters {
+  std::uint64_t full = 0;        ///< full mpz_powm exponentiations
+  std::uint64_t fixed_base = 0;  ///< table-served exponentiations
+};
+
+/// Reads the process-wide counters (monotonic since process start or the
+/// last reset). Thread-safe.
+ExpCounters exp_counters();
+
+/// Resets both counters to zero (benchmark bracketing). Thread-safe.
+void reset_exp_counters();
+
+/// Precomputed window table for one base: entry (i, j) holds
+/// base^(j * 2^(w*i)) mod p, so base^e is the product over windows i of
+/// entry(i, window_i(e)). Read-only after construction; safe to share
+/// across threads.
+class FixedBaseTable {
+ public:
+  /// Window width in bits. 6 trades ~3 MiB per 1536-bit table for a
+  /// ~256-multiply evaluation (vs ~1536 squarings + ~300 multiplies for a
+  /// full modexp).
+  static constexpr unsigned kWindowBits = 6;
+
+  FixedBaseTable(const mpz_class& base, const mpz_class& modulus,
+                 std::size_t exponent_bits);
+
+  /// base^e mod p via table lookups. \p e must be in [0, 2^exponent_bits).
+  mpz_class pow(const mpz_class& e) const;
+
+  /// Largest exponent bit width the table covers.
+  std::size_t exponent_bits() const { return exponent_bits_; }
+
+ private:
+  mpz_class modulus_;
+  std::size_t exponent_bits_;
+  std::size_t blocks_;
+  /// blocks_ * 2^w entries, row-major: entries_[i * 2^w + j].
+  std::vector<mpz_class> entries_;
+};
+
+/// Multiplicative group wrapper. Logically immutable after construction
+/// (the lazily built generator table is internally synchronized); cheap to
+/// share by const reference between both protocol parties and across
+/// concurrent sessions.
 class DhGroup {
  public:
-  explicit DhGroup(GroupId id = GroupId::kModp1536);
+  /// \p fixed_base_tables disables the windowed-table acceleration when
+  /// false (every pow_g becomes a full mpz_powm) — used by benchmarks to
+  /// measure the unaccelerated baseline and by equivalence tests.
+  explicit DhGroup(GroupId id = GroupId::kModp1536,
+                   bool fixed_base_tables = true);
+
+  DhGroup(const DhGroup&) = delete;
+  DhGroup& operator=(const DhGroup&) = delete;
 
   /// Modulus byte width (all serialized elements use exactly this width).
   std::size_t element_bytes() const { return element_bytes_; }
 
-  /// g^e mod p.
+  /// g^e mod p. Served from the lazily built generator table when
+  /// acceleration is on and e is in range; falls back to pow() otherwise.
   mpz_class pow_g(const mpz_class& e) const;
 
-  /// b^e mod p.
+  /// b^e mod p (always a full exponentiation).
   mpz_class pow(const mpz_class& base, const mpz_class& e) const;
+
+  /// Builds a window table for an arbitrary \p base reused across many
+  /// exponentiations (e.g. the amortized OT's per-batch g^r). The build
+  /// costs a handful of full exponentiations' worth of multiplies; it pays
+  /// off after ~10 uses. Returns nullptr when acceleration is disabled.
+  std::unique_ptr<FixedBaseTable> make_table(const mpz_class& base) const;
+
+  /// base^e through \p table when non-null and in range, else pow().
+  mpz_class pow_with(const FixedBaseTable* table, const mpz_class& base,
+                     const mpz_class& e) const;
 
   /// a*b mod p.
   mpz_class mul(const mpz_class& a, const mpz_class& b) const;
@@ -69,10 +147,22 @@ class DhGroup {
   const mpz_class& g() const { return g_; }
 
  private:
+  const FixedBaseTable* generator_table() const;
+
   mpz_class p_;  ///< safe prime
   mpz_class q_;  ///< (p-1)/2, prime order of the QR subgroup
   mpz_class g_;  ///< subgroup generator
   std::size_t element_bytes_ = 0;
+  bool fixed_base_tables_ = true;
+  /// Lazily built table for g, synchronized so the first pow_g of
+  /// concurrent sessions races cleanly (tsan-verified).
+  mutable std::once_flag g_table_once_;
+  mutable std::unique_ptr<FixedBaseTable> g_table_;
 };
+
+/// Process-wide shared group per GroupId, with fixed-base acceleration on.
+/// Sharing one instance keeps the lazily built generator table warm across
+/// sessions instead of rebuilding it per OtBundle.
+const DhGroup& shared_group(GroupId id);
 
 }  // namespace ppds::crypto

@@ -69,6 +69,8 @@ class NaorPinkasSender : public OtSender {
   /// Single 1-out-of-2 OT (exposed for tests and OT precomputation).
   void send_1of2(net::Endpoint& channel, const Bytes& m0, const Bytes& m1);
 
+  const DhGroup& group() const { return group_; }
+
  private:
   void send_1ofn(net::Endpoint& channel, std::span<const Bytes> messages);
 
@@ -88,6 +90,8 @@ class NaorPinkasReceiver : public OtReceiver {
 
   Bytes receive_1of2(net::Endpoint& channel, bool choice,
                      std::size_t message_len);
+
+  const DhGroup& group() const { return group_; }
 
  private:
   Bytes receive_1ofn(net::Endpoint& channel, std::size_t index, std::size_t n,
@@ -122,6 +126,15 @@ class LoopbackReceiver : public OtReceiver {
 /// of correction. This implements the paper's remark that the cost "can be
 /// further reduced by generating random polynomials before the scheme" in
 /// its OT analogue, and feeds the ablation bench.
+///
+/// The offline phase is BATCHED and AMORTIZED (Naor-Pinkas SODA'01 style):
+/// the sender reuses one (C, r) pair across all N slots of a batch, ships
+/// `C || g^r` once, the receiver answers with all N blinded public keys in
+/// one bundle, and both sides derive the random pads from hashed DH shared
+/// secrets with a per-slot domain-separation tag — one round trip and
+/// roughly one full exponentiation per slot instead of 3 messages and 6
+/// exponentiations. Fixed-base tables (group.hpp) serve every g^x, and the
+/// receiver builds a per-batch table for g^r.
 
 /// Offline artifact held by the sender: both random pads per slot.
 struct PrecomputedSendSlot {
@@ -193,9 +206,10 @@ class PrecomputedOtReceiver : public OtReceiver {
   std::size_t next_ = 0;
 };
 
-/// Runs \p count offline 1-out-of-2 OTs of \p pad_len-byte random pads.
-/// Returns the sender-side slots; receiver-side slots come out of the
-/// matching call on the other thread.
+/// Runs \p count offline 1-out-of-2 OTs of \p pad_len-byte random pads in
+/// ONE channel round trip (amortized base phase, pads derived from hashed
+/// DH secrets; pad_len <= 32). Returns the sender-side slots; receiver-side
+/// slots come out of the matching call on the other thread.
 std::vector<PrecomputedSendSlot> precompute_ot_sender(
     net::Endpoint& channel, NaorPinkasSender& sender, std::size_t count,
     std::size_t pad_len, Rng& rng);
@@ -203,6 +217,59 @@ std::vector<PrecomputedSendSlot> precompute_ot_sender(
 std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
     net::Endpoint& channel, NaorPinkasReceiver& receiver, std::size_t count,
     std::size_t pad_len, Rng& rng);
+
+/// --- Batched session facade --------------------------------------------------
+///
+/// OtSender/OtReceiver implementation that owns the Naor-Pinkas base
+/// machinery and an auto-refilled pool of precomputed slots: reserve() tops
+/// the pool up for a whole classification session in one round trip, and
+/// send()/receive() refill symmetrically (both sides derive the same top-up
+/// size from the transfer shape) if a session outruns its reservation.
+
+class BatchedOtSender : public OtSender {
+ public:
+  BatchedOtSender(const DhGroup& group, Rng& rng,
+                  std::size_t refill_batch = 128);
+  ~BatchedOtSender() override;
+
+  /// Ensures at least \p slots unconsumed slots, topping up in one round
+  /// trip (the receiver must mirror with its own reserve()).
+  void reserve(net::Endpoint& channel, std::size_t slots);
+
+  void send(net::Endpoint& channel, std::span<const Bytes> messages,
+            std::size_t k) override;
+
+  std::size_t remaining() const { return pool_.size() - next_; }
+
+ private:
+  NaorPinkasSender base_;
+  Rng& rng_;
+  std::size_t refill_batch_;
+  std::vector<PrecomputedSendSlot> pool_;
+  std::size_t next_ = 0;
+};
+
+class BatchedOtReceiver : public OtReceiver {
+ public:
+  BatchedOtReceiver(const DhGroup& group, Rng& rng,
+                    std::size_t refill_batch = 128);
+  ~BatchedOtReceiver() override;
+
+  void reserve(net::Endpoint& channel, std::size_t slots);
+
+  std::vector<Bytes> receive(net::Endpoint& channel,
+                             std::span<const std::size_t> indices,
+                             std::size_t n, std::size_t message_len) override;
+
+  std::size_t remaining() const { return pool_.size() - next_; }
+
+ private:
+  NaorPinkasReceiver base_;
+  Rng& rng_;
+  std::size_t refill_batch_;
+  std::vector<PrecomputedRecvSlot> pool_;
+  std::size_t next_ = 0;
+};
 
 /// Online phase: consumes one precomputed slot per 1-out-of-2 transfer.
 void precomputed_send_1of2(net::Endpoint& channel,

@@ -4,20 +4,30 @@ namespace ppds::core {
 
 OtBundle::OtBundle(const SchemeConfig& cfg, Rng& rng)
     : cfg_(cfg), rng_(&rng) {
+  const crypto::DhGroup* group = nullptr;
+  if (cfg.ot_engine != OtEngine::kLoopback) {
+    if (cfg.fixed_base_tables) {
+      group = &crypto::shared_group(cfg.group);
+    } else {
+      owned_group_ =
+          std::make_unique<crypto::DhGroup>(cfg.group, /*fixed_base_tables=*/false);
+      group = owned_group_.get();
+    }
+  }
   switch (cfg.ot_engine) {
     case OtEngine::kNaorPinkas:
-      group_ = std::make_unique<crypto::DhGroup>(cfg.group);
-      sender_ = std::make_unique<crypto::NaorPinkasSender>(*group_, rng);
-      receiver_ = std::make_unique<crypto::NaorPinkasReceiver>(*group_, rng);
+      sender_ = std::make_unique<crypto::NaorPinkasSender>(*group, rng);
+      receiver_ = std::make_unique<crypto::NaorPinkasReceiver>(*group, rng);
       break;
-    case OtEngine::kPrecomputed:
-      // The engines are installed by prepare_sender()/prepare_receiver(),
-      // which need the protocol channel; only the base machinery exists now.
-      group_ = std::make_unique<crypto::DhGroup>(cfg.group);
-      base_sender_ = std::make_unique<crypto::NaorPinkasSender>(*group_, rng);
-      base_receiver_ =
-          std::make_unique<crypto::NaorPinkasReceiver>(*group_, rng);
+    case OtEngine::kPrecomputed: {
+      auto sender = std::make_unique<crypto::BatchedOtSender>(*group, rng);
+      auto receiver = std::make_unique<crypto::BatchedOtReceiver>(*group, rng);
+      batched_sender_ = sender.get();
+      batched_receiver_ = receiver.get();
+      sender_ = std::move(sender);
+      receiver_ = std::move(receiver);
       break;
+    }
     case OtEngine::kLoopback:
       sender_ = std::make_unique<crypto::LoopbackSender>();
       receiver_ = std::make_unique<crypto::LoopbackReceiver>();
@@ -26,26 +36,20 @@ OtBundle::OtBundle(const SchemeConfig& cfg, Rng& rng)
 }
 
 void OtBundle::prepare_sender(net::Endpoint& channel, std::size_t slots) {
-  if (cfg_.ot_engine != OtEngine::kPrecomputed) return;
-  sender_ = std::make_unique<crypto::PrecomputedOtSender>(
-      channel, *base_sender_, slots, *rng_);
+  if (batched_sender_ != nullptr) batched_sender_->reserve(channel, slots);
 }
 
 void OtBundle::prepare_receiver(net::Endpoint& channel, std::size_t slots) {
-  if (cfg_.ot_engine != OtEngine::kPrecomputed) return;
-  receiver_ = std::make_unique<crypto::PrecomputedOtReceiver>(
-      channel, *base_receiver_, slots, *rng_);
+  if (batched_receiver_ != nullptr) batched_receiver_->reserve(channel, slots);
 }
 
 crypto::OtSender& OtBundle::sender() {
-  detail::require(sender_ != nullptr,
-                  "OtBundle: precomputed engine needs prepare_sender()");
+  detail::require(sender_ != nullptr, "OtBundle: no sender engine");
   return *sender_;
 }
 
 crypto::OtReceiver& OtBundle::receiver() {
-  detail::require(receiver_ != nullptr,
-                  "OtBundle: precomputed engine needs prepare_receiver()");
+  detail::require(receiver_ != nullptr, "OtBundle: no receiver engine");
   return *receiver_;
 }
 

@@ -1,0 +1,111 @@
+#include "ppds/core/session_pool.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "ppds/net/party.hpp"
+
+namespace ppds::core {
+
+std::uint64_t chunk_seed(std::uint64_t seed, std::uint64_t stream) {
+  // SplitMix64 finalizer over the combined input: adjacent (seed, stream)
+  // pairs land in decorrelated RNG streams.
+  std::uint64_t z = seed + stream * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SessionPool::SessionPool(const ClassificationServer& server,
+                         const ClassificationClient& client,
+                         ClassificationProfile profile, SchemeConfig config,
+                         std::size_t threads)
+    : server_(&server),
+      client_(&client),
+      profile_(std::move(profile)),
+      config_(std::move(config)),
+      pool_(threads) {}
+
+std::vector<int> SessionPool::classify_batch(
+    const std::vector<std::vector<double>>& samples, std::uint64_t seed,
+    std::size_t chunk_size) {
+  detail::require(!samples.empty(), "SessionPool: no samples");
+  detail::require(chunk_size >= 1, "SessionPool: chunk_size must be >= 1");
+  const std::size_t chunks = (samples.size() + chunk_size - 1) / chunk_size;
+
+  // Each task is a complete two-party session; run_two_party supplies the
+  // second thread, so even a single-worker pool cannot deadlock.
+  std::vector<std::future<std::vector<int>>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    futures.push_back(pool_.submit([this, &samples, seed, chunk_size, c] {
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(begin + chunk_size, samples.size());
+      const std::vector<std::vector<double>> chunk(
+          samples.begin() + static_cast<std::ptrdiff_t>(begin),
+          samples.begin() + static_cast<std::ptrdiff_t>(end));
+      auto outcome = net::run_two_party(
+          [&](net::Endpoint& channel) {
+            Rng rng(chunk_seed(seed, 2 * c));
+            serve_session(*server_, profile_, config_, channel, rng);
+            return 0;
+          },
+          [&](net::Endpoint& channel) {
+            Rng rng(chunk_seed(seed, 2 * c + 1));
+            return classify_session(*client_, profile_, config_, channel,
+                                    chunk, rng);
+          });
+      return std::move(outcome.b);
+    }));
+  }
+
+  std::vector<int> labels;
+  labels.reserve(samples.size());
+  for (auto& future : futures) {
+    const std::vector<int> part = future.get();
+    labels.insert(labels.end(), part.begin(), part.end());
+  }
+  return labels;
+}
+
+SimilaritySessionPool::SimilaritySessionPool(
+    const SimilarityServer& server, const SimilarityClient& client,
+    svm::Kernel kernel, DataSpace space, SchemeConfig config,
+    std::size_t threads)
+    : server_(&server),
+      client_(&client),
+      kernel_(std::move(kernel)),
+      space_(space),
+      config_(std::move(config)),
+      pool_(threads) {}
+
+std::vector<double> SimilaritySessionPool::evaluate_batch(std::size_t count,
+                                                          std::uint64_t seed) {
+  detail::require(count >= 1, "SimilaritySessionPool: count must be >= 1");
+  std::vector<std::future<double>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool_.submit([this, seed, i] {
+      auto outcome = net::run_two_party(
+          [&](net::Endpoint& channel) {
+            Rng rng(chunk_seed(seed, 2 * i));
+            serve_similarity_session(*server_, kernel_, space_, config_,
+                                     channel, rng);
+            return 0;
+          },
+          [&](net::Endpoint& channel) {
+            Rng rng(chunk_seed(seed, 2 * i + 1));
+            return evaluate_similarity_session(*client_, kernel_, space_,
+                                               config_, channel, rng);
+          });
+      return outcome.b;
+    }));
+  }
+  std::vector<double> values;
+  values.reserve(count);
+  for (auto& future : futures) values.push_back(future.get());
+  return values;
+}
+
+}  // namespace ppds::core

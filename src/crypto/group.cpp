@@ -1,5 +1,7 @@
 #include "ppds/crypto/group.hpp"
 
+#include <algorithm>
+
 #include "ppds/common/ct.hpp"
 #include "ppds/common/error.hpp"
 
@@ -53,18 +55,112 @@ const char* hex_for(GroupId id) {
   throw InvalidArgument("unknown GroupId");
 }
 
+std::atomic<std::uint64_t>& full_exp_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+std::atomic<std::uint64_t>& fixed_base_exp_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
 }  // namespace
 
-DhGroup::DhGroup(GroupId id) {
+ExpCounters exp_counters() {
+  return {full_exp_counter().load(std::memory_order_relaxed),
+          fixed_base_exp_counter().load(std::memory_order_relaxed)};
+}
+
+void reset_exp_counters() {
+  full_exp_counter().store(0, std::memory_order_relaxed);
+  fixed_base_exp_counter().store(0, std::memory_order_relaxed);
+}
+
+FixedBaseTable::FixedBaseTable(const mpz_class& base, const mpz_class& modulus,
+                               std::size_t exponent_bits)
+    : modulus_(modulus), exponent_bits_(exponent_bits) {
+  detail::require(exponent_bits_ >= 1, "FixedBaseTable: empty exponent range");
+  constexpr std::size_t kEntriesPerBlock = std::size_t{1} << kWindowBits;
+  blocks_ = (exponent_bits_ + kWindowBits - 1) / kWindowBits;
+  entries_.resize(blocks_ * kEntriesPerBlock);
+  // Block i's unit is base^(2^(w*i)): w squarings of the previous unit.
+  mpz_class unit = base % modulus_;
+  for (std::size_t i = 0; i < blocks_; ++i) {
+    mpz_class* row = entries_.data() + i * kEntriesPerBlock;
+    row[0] = 1;
+    for (std::size_t j = 1; j < kEntriesPerBlock; ++j) {
+      row[j] = row[j - 1] * unit;
+      row[j] %= modulus_;
+    }
+    if (i + 1 < blocks_) {
+      // unit^(2^w - 1) * unit == unit^(2^w), the next block's unit.
+      unit = row[kEntriesPerBlock - 1] * unit;
+      unit %= modulus_;
+    }
+  }
+}
+
+mpz_class FixedBaseTable::pow(const mpz_class& e) const {
+  constexpr std::size_t kEntriesPerBlock = std::size_t{1} << kWindowBits;
+  mpz_class out = 1;
+  const std::size_t bits = mpz_sizeinbase(e.get_mpz_t(), 2);
+  const std::size_t used_blocks =
+      std::min(blocks_, (bits + kWindowBits - 1) / kWindowBits);
+  for (std::size_t i = 0; i < used_blocks; ++i) {
+    std::size_t window = 0;
+    for (unsigned b = 0; b < kWindowBits; ++b) {
+      if (mpz_tstbit(e.get_mpz_t(), i * kWindowBits + b) != 0) {
+        window |= std::size_t{1} << b;
+      }
+    }
+    if (window == 0) continue;
+    out *= entries_[i * kEntriesPerBlock + window];
+    out %= modulus_;
+  }
+  fixed_base_exp_counter().fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+DhGroup::DhGroup(GroupId id, bool fixed_base_tables)
+    : fixed_base_tables_(fixed_base_tables) {
   p_ = mpz_class(hex_for(id), 16);
   q_ = (p_ - 1) / 2;
   g_ = 4;  // 2^2 is a quadratic residue, hence generates the order-q subgroup
   element_bytes_ = (mpz_sizeinbase(p_.get_mpz_t(), 2) + 7) / 8;
 }
 
-mpz_class DhGroup::pow_g(const mpz_class& e) const { return pow(g_, e); }
+const FixedBaseTable* DhGroup::generator_table() const {
+  if (!fixed_base_tables_) return nullptr;
+  std::call_once(g_table_once_, [this] {
+    g_table_ = std::make_unique<FixedBaseTable>(
+        g_, p_, mpz_sizeinbase(p_.get_mpz_t(), 2));
+  });
+  return g_table_.get();
+}
+
+mpz_class DhGroup::pow_g(const mpz_class& e) const {
+  return pow_with(generator_table(), g_, e);
+}
+
+std::unique_ptr<FixedBaseTable> DhGroup::make_table(
+    const mpz_class& base) const {
+  if (!fixed_base_tables_) return nullptr;
+  return std::make_unique<FixedBaseTable>(
+      base, p_, mpz_sizeinbase(p_.get_mpz_t(), 2));
+}
+
+mpz_class DhGroup::pow_with(const FixedBaseTable* table, const mpz_class& base,
+                            const mpz_class& e) const {
+  if (table != nullptr && e >= 0 &&
+      mpz_sizeinbase(e.get_mpz_t(), 2) <= table->exponent_bits()) {
+    return table->pow(e);
+  }
+  return pow(base, e);
+}
 
 mpz_class DhGroup::pow(const mpz_class& base, const mpz_class& e) const {
+  full_exp_counter().fetch_add(1, std::memory_order_relaxed);
   mpz_class out;
   mpz_powm(out.get_mpz_t(), base.get_mpz_t(), e.get_mpz_t(), p_.get_mpz_t());
   return out;
@@ -126,6 +222,24 @@ mpz_class DhGroup::deserialize(std::span<const std::uint8_t> data) const {
   mpz_import(x.get_mpz_t(), data.size(), 1, 1, 1, 0, data.data());
   if (x < 1 || x >= p_) throw CryptoError("DhGroup: element out of range");
   return x;
+}
+
+const DhGroup& shared_group(GroupId id) {
+  switch (id) {
+    case GroupId::kModp1024: {
+      static const DhGroup group(GroupId::kModp1024);
+      return group;
+    }
+    case GroupId::kModp1536: {
+      static const DhGroup group(GroupId::kModp1536);
+      return group;
+    }
+    case GroupId::kModp2048: {
+      static const DhGroup group(GroupId::kModp2048);
+      return group;
+    }
+  }
+  throw InvalidArgument("unknown GroupId");
 }
 
 Digest DhGroup::hash_to_key(const mpz_class& x, std::uint64_t tag) const {

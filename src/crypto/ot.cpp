@@ -43,6 +43,75 @@ void check_equal_lengths(std::span<const Bytes> messages) {
   }
 }
 
+/// Shared 1-out-of-n sender body (bit-decomposition construction). The
+/// key-transfer primitive is supplied by the engine: real Naor-Pinkas
+/// 1-out-of-2 OTs or precomputed Beaver slots. \p transfer_keys is called
+/// once per index bit with (key0, key1).
+template <typename TransferKeys>
+void send_1ofn_impl(net::Endpoint& channel, std::span<const Bytes> messages,
+                    Rng& rng, TransferKeys&& transfer_keys) {
+  const std::size_t n = messages.size();
+  const std::size_t nbits = bits_for(n);
+
+  std::vector<std::array<Bytes, 2>> keys(nbits);
+  for (auto& pair : keys) {
+    for (int side = 0; side < 2; ++side) {
+      Bytes& key = pair[side];
+      key.resize(32);
+      rng.fill_bytes(std::span(key));
+    }
+  }
+
+  ByteWriter w;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Bytes> parts;
+    parts.reserve(nbits + 1);
+    for (std::size_t j = 0; j < nbits; ++j) {
+      parts.push_back(keys[j][(i >> j) & 1]);
+    }
+    Bytes idx(8);
+    for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(i >> (8 * b));
+    parts.push_back(idx);
+    w.raw(xor_pad(sha256_tagged(parts), messages[i]));
+  }
+  channel.send(w.take());
+
+  for (std::size_t j = 0; j < nbits; ++j) {
+    transfer_keys(keys[j][0], keys[j][1]);
+  }
+  wipe_key_pairs(keys);
+}
+
+/// Shared 1-out-of-n receiver body. \p transfer_key is called once per
+/// index bit with the wanted choice bit and must return the 32-byte key.
+template <typename TransferKey>
+Bytes receive_1ofn_impl(net::Endpoint& channel, std::size_t index,
+                        std::size_t n, std::size_t message_len,
+                        TransferKey&& transfer_key) {
+  const std::size_t nbits = bits_for(n);
+
+  const Bytes ciphertexts = channel.recv();
+  detail::require(ciphertexts.size() == n * message_len,
+                  "ot_1ofn: bad ciphertext bundle");
+
+  std::vector<Bytes> parts;
+  parts.reserve(nbits + 1);
+  for (std::size_t j = 0; j < nbits; ++j) {
+    parts.push_back(transfer_key(((index >> j) & 1) != 0));
+  }
+  Bytes idx(8);
+  for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(index >> (8 * b));
+  parts.push_back(idx);
+
+  Bytes cipher(ciphertexts.begin() + static_cast<std::ptrdiff_t>(index * message_len),
+               ciphertexts.begin() + static_cast<std::ptrdiff_t>((index + 1) * message_len));
+  Digest pad_key = sha256_tagged(parts);
+  wipe_all(parts);
+  Bytes plain = xor_pad(pad_key, cipher);
+  secure_wipe(std::span(pad_key));
+  return plain;
+}
+
 }  // namespace
 
 /// --- Naor-Pinkas 1-out-of-2 --------------------------------------------------
@@ -103,40 +172,13 @@ Bytes NaorPinkasReceiver::receive_1of2(net::Endpoint& channel, bool choice,
 void NaorPinkasSender::send_1ofn(net::Endpoint& channel,
                                  std::span<const Bytes> messages) {
   check_equal_lengths(messages);
-  const std::size_t n = messages.size();
-  if (n == 1) {
+  if (messages.size() == 1) {
     channel.send(messages.front());
     return;
   }
-  const std::size_t nbits = bits_for(n);
-
-  std::vector<std::array<Bytes, 2>> keys(nbits);
-  for (auto& pair : keys) {
-    for (int side = 0; side < 2; ++side) {
-      Bytes& key = pair[side];
-      key.resize(32);
-      for (auto& byte : key) byte = static_cast<std::uint8_t>(rng_());
-    }
-  }
-
-  ByteWriter w;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<Bytes> parts;
-    parts.reserve(nbits + 1);
-    for (std::size_t j = 0; j < nbits; ++j) {
-      parts.push_back(keys[j][(i >> j) & 1]);
-    }
-    Bytes idx(8);
-    for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(i >> (8 * b));
-    parts.push_back(idx);
-    w.raw(xor_pad(sha256_tagged(parts), messages[i]));
-  }
-  channel.send(w.take());
-
-  for (std::size_t j = 0; j < nbits; ++j) {
-    send_1of2(channel, keys[j][0], keys[j][1]);
-  }
-  wipe_key_pairs(keys);
+  send_1ofn_impl(channel, messages, rng_, [&](const Bytes& k0, const Bytes& k1) {
+    send_1of2(channel, k0, k1);
+  });
 }
 
 Bytes NaorPinkasReceiver::receive_1ofn(net::Endpoint& channel,
@@ -144,28 +186,9 @@ Bytes NaorPinkasReceiver::receive_1ofn(net::Endpoint& channel,
                                        std::size_t message_len) {
   detail::require(index < n, "ot_1ofn: index out of range");
   if (n == 1) return channel.recv();
-  const std::size_t nbits = bits_for(n);
-
-  const Bytes ciphertexts = channel.recv();
-  detail::require(ciphertexts.size() == n * message_len,
-                  "ot_1ofn: bad ciphertext bundle");
-
-  std::vector<Bytes> parts;
-  parts.reserve(nbits + 1);
-  for (std::size_t j = 0; j < nbits; ++j) {
-    parts.push_back(receive_1of2(channel, ((index >> j) & 1) != 0, 32));
-  }
-  Bytes idx(8);
-  for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(index >> (8 * b));
-  parts.push_back(idx);
-
-  Bytes cipher(ciphertexts.begin() + static_cast<std::ptrdiff_t>(index * message_len),
-               ciphertexts.begin() + static_cast<std::ptrdiff_t>((index + 1) * message_len));
-  Digest pad_key = sha256_tagged(parts);
-  wipe_all(parts);
-  Bytes plain = xor_pad(pad_key, cipher);
-  secure_wipe(std::span(pad_key));
-  return plain;
+  return receive_1ofn_impl(channel, index, n, message_len, [&](bool choice) {
+    return receive_1of2(channel, choice, 32);
+  });
 }
 
 /// --- k-out-of-n on top --------------------------------------------------------
@@ -246,43 +269,16 @@ PrecomputedOtSender::~PrecomputedOtSender() {
 void PrecomputedOtSender::send_1ofn(net::Endpoint& channel,
                                     std::span<const Bytes> messages) {
   check_equal_lengths(messages);
-  const std::size_t n = messages.size();
-  if (n == 1) {
+  if (messages.size() == 1) {
     channel.send(messages.front());
     return;
   }
-  const std::size_t nbits = bits_for(n);
-  if (next_ + nbits > slots_.size()) {
+  if (next_ + bits_for(messages.size()) > slots_.size()) {
     throw ProtocolError("precomputed ot: slot pool exhausted");
   }
-
-  std::vector<std::array<Bytes, 2>> keys(nbits);
-  for (auto& pair : keys) {
-    for (int side = 0; side < 2; ++side) {
-      Bytes& key = pair[side];
-      key.resize(32);
-      for (auto& byte : key) byte = static_cast<std::uint8_t>(rng_());
-    }
-  }
-
-  ByteWriter w;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<Bytes> parts;
-    parts.reserve(nbits + 1);
-    for (std::size_t j = 0; j < nbits; ++j) {
-      parts.push_back(keys[j][(i >> j) & 1]);
-    }
-    Bytes idx(8);
-    for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(i >> (8 * b));
-    parts.push_back(idx);
-    w.raw(xor_pad(sha256_tagged(parts), messages[i]));
-  }
-  channel.send(w.take());
-
-  for (std::size_t j = 0; j < nbits; ++j) {
-    precomputed_send_1of2(channel, slots_[next_++], keys[j][0], keys[j][1]);
-  }
-  wipe_key_pairs(keys);
+  send_1ofn_impl(channel, messages, rng_, [&](const Bytes& k0, const Bytes& k1) {
+    precomputed_send_1of2(channel, slots_[next_++], k0, k1);
+  });
 }
 
 void PrecomputedOtSender::send(net::Endpoint& channel,
@@ -311,32 +307,12 @@ Bytes PrecomputedOtReceiver::receive_1ofn(net::Endpoint& channel,
                                           std::size_t message_len) {
   detail::require(index < n, "ot_1ofn: index out of range");
   if (n == 1) return channel.recv();
-  const std::size_t nbits = bits_for(n);
-  if (next_ + nbits > slots_.size()) {
+  if (next_ + bits_for(n) > slots_.size()) {
     throw ProtocolError("precomputed ot: slot pool exhausted");
   }
-
-  const Bytes ciphertexts = channel.recv();
-  detail::require(ciphertexts.size() == n * message_len,
-                  "ot_1ofn: bad ciphertext bundle");
-
-  std::vector<Bytes> parts;
-  parts.reserve(nbits + 1);
-  for (std::size_t j = 0; j < nbits; ++j) {
-    parts.push_back(precomputed_receive_1of2(channel, slots_[next_++],
-                                             ((index >> j) & 1) != 0));
-  }
-  Bytes idx(8);
-  for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(index >> (8 * b));
-  parts.push_back(idx);
-
-  Bytes cipher(ciphertexts.begin() + static_cast<std::ptrdiff_t>(index * message_len),
-               ciphertexts.begin() + static_cast<std::ptrdiff_t>((index + 1) * message_len));
-  Digest pad_key = sha256_tagged(parts);
-  wipe_all(parts);
-  Bytes plain = xor_pad(pad_key, cipher);
-  secure_wipe(std::span(pad_key));
-  return plain;
+  return receive_1ofn_impl(channel, index, n, message_len, [&](bool choice) {
+    return precomputed_receive_1of2(channel, slots_[next_++], choice);
+  });
 }
 
 std::vector<Bytes> PrecomputedOtReceiver::receive(
@@ -351,30 +327,93 @@ std::vector<Bytes> PrecomputedOtReceiver::receive(
   return out;
 }
 
-/// --- Beaver precomputation ------------------------------------------------------
+/// --- Batched amortized precomputation -------------------------------------------
+///
+/// One round trip fills N slots (Naor-Pinkas amortization): the sender
+/// reuses a single (C = g^a, g^r) pair for the whole batch, the receiver
+/// answers with all N blinded keys in one bundle, and the random pads are
+/// DERIVED as H(shared_secret, 2i + b) rather than chosen and encrypted —
+/// there is no third message. Per slot the sender pays one full
+/// exponentiation (pk0^r; pk1^r falls out as C^r * (pk0^r)^{-1}) and the
+/// receiver two table-served ones (g^x and (g^r)^x via a per-batch window
+/// table for g^r). Semi-honest security follows from the original
+/// construction: the receiver cannot compute both H inputs without solving
+/// CDH for (C, g^r), and the per-slot tag keeps pads independent.
 
 std::vector<PrecomputedSendSlot> precompute_ot_sender(
     net::Endpoint& channel, NaorPinkasSender& sender, std::size_t count,
     std::size_t pad_len, Rng& rng) {
+  detail::require(pad_len >= 1 && pad_len <= 32,
+                  "precompute ot: pad_len must be in [1, 32]");
   std::vector<PrecomputedSendSlot> slots(count);
-  for (auto& slot : slots) {
-    slot.r0.resize(pad_len);
-    slot.r1.resize(pad_len);
-    for (auto& byte : slot.r0) byte = static_cast<std::uint8_t>(rng());
-    for (auto& byte : slot.r1) byte = static_cast<std::uint8_t>(rng());
-    sender.send_1of2(channel, slot.r0, slot.r1);
+  if (count == 0) return slots;
+  const DhGroup& group = sender.group();
+
+  const mpz_class a = group.random_exponent(rng);
+  const mpz_class r = group.random_exponent(rng);
+  const mpz_class c = group.pow_g(a);
+  const mpz_class gr = group.pow_g(r);
+  // C^r = g^{a*r mod q}: the sender knows both exponents, so even this
+  // stays on the fixed-base path.
+  const mpz_class c_r = group.pow_g(a * r % group.q());
+
+  ByteWriter announce;
+  announce.raw(group.serialize(c));
+  announce.raw(group.serialize(gr));
+  channel.send(announce.take());
+
+  const Bytes bundle = channel.recv();
+  ByteReader rd(bundle);
+  for (std::size_t i = 0; i < count; ++i) {
+    const mpz_class pk0 = group.deserialize(rd.raw(group.element_bytes()));
+    const mpz_class s0 = group.pow(pk0, r);  // the one full exp per slot
+    const mpz_class s1 = group.mul(c_r, group.invert(s0));
+    Digest k0 = group.hash_to_key(s0, 2 * i);
+    Digest k1 = group.hash_to_key(s1, 2 * i + 1);
+    slots[i].r0.assign(k0.begin(), k0.begin() + static_cast<std::ptrdiff_t>(pad_len));
+    slots[i].r1.assign(k1.begin(), k1.begin() + static_cast<std::ptrdiff_t>(pad_len));
+    secure_wipe(std::span(k0));
+    secure_wipe(std::span(k1));
   }
+  rd.expect_end();
   return slots;
 }
 
 std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
     net::Endpoint& channel, NaorPinkasReceiver& receiver, std::size_t count,
     std::size_t pad_len, Rng& rng) {
+  detail::require(pad_len >= 1 && pad_len <= 32,
+                  "precompute ot: pad_len must be in [1, 32]");
   std::vector<PrecomputedRecvSlot> slots(count);
-  for (auto& slot : slots) {
+  if (count == 0) return slots;
+  const DhGroup& group = receiver.group();
+
+  const Bytes announce = channel.recv();
+  ByteReader rd(announce);
+  const mpz_class c = group.deserialize(rd.raw(group.element_bytes()));
+  const mpz_class gr = group.deserialize(rd.raw(group.element_bytes()));
+  rd.expect_end();
+
+  // Window table for the batch-constant base g^r; the build costs a few
+  // full exponentiations' worth of multiplies, so only bother for batches
+  // that amortize it.
+  std::unique_ptr<FixedBaseTable> gr_table;
+  if (count >= 16) gr_table = group.make_table(gr);
+
+  ByteWriter w;
+  for (std::size_t i = 0; i < count; ++i) {
+    PrecomputedRecvSlot& slot = slots[i];
     slot.choice = (rng() & 1) != 0;
-    slot.pad = receiver.receive_1of2(channel, slot.choice, pad_len);
+    const mpz_class x = group.random_exponent(rng);
+    const mpz_class pk_choice = group.pow_g(x);
+    const mpz_class pk_other = group.mul(c, group.invert(pk_choice));
+    w.raw(group.serialize(slot.choice ? pk_other : pk_choice));
+    const mpz_class shared = group.pow_with(gr_table.get(), gr, x);
+    Digest key = group.hash_to_key(shared, 2 * i + (slot.choice ? 1 : 0));
+    slot.pad.assign(key.begin(), key.begin() + static_cast<std::ptrdiff_t>(pad_len));
+    secure_wipe(std::span(key));
   }
+  channel.send(w.take());
   return slots;
 }
 
@@ -411,6 +450,107 @@ Bytes precomputed_receive_1of2(net::Endpoint& channel,
   Bytes out(reply.begin() + static_cast<std::ptrdiff_t>(choice ? len : 0),
             reply.begin() + static_cast<std::ptrdiff_t>(choice ? 2 * len : len));
   for (std::size_t i = 0; i < len; ++i) out[i] ^= slot.pad[i];
+  return out;
+}
+
+/// --- Batched session facade -----------------------------------------------------
+
+BatchedOtSender::BatchedOtSender(const DhGroup& group, Rng& rng,
+                                 std::size_t refill_batch)
+    : base_(group, rng),
+      rng_(rng),
+      refill_batch_(std::max<std::size_t>(refill_batch, 1)) {}
+
+BatchedOtSender::~BatchedOtSender() {
+  for (PrecomputedSendSlot& slot : pool_) {
+    secure_wipe(std::span(slot.r0));
+    secure_wipe(std::span(slot.r1));
+  }
+}
+
+void BatchedOtSender::reserve(net::Endpoint& channel, std::size_t slots) {
+  if (remaining() >= slots) return;
+  const std::size_t top_up = slots - remaining();
+  // Compact the consumed prefix (its pads are spent key material).
+  for (std::size_t i = 0; i < next_; ++i) {
+    secure_wipe(std::span(pool_[i].r0));
+    secure_wipe(std::span(pool_[i].r1));
+  }
+  pool_.erase(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(next_));
+  next_ = 0;
+  auto fresh = precompute_ot_sender(channel, base_, top_up, 32, rng_);
+  pool_.insert(pool_.end(), std::make_move_iterator(fresh.begin()),
+               std::make_move_iterator(fresh.end()));
+}
+
+void BatchedOtSender::send(net::Endpoint& channel,
+                           std::span<const Bytes> messages, std::size_t k) {
+  check_equal_lengths(messages);
+  detail::require(k >= 1 && k <= messages.size(), "ot: bad k");
+  // Symmetric auto-refill: both parties derive the same need from the
+  // transfer shape and the same pool level from identical consumption.
+  const std::size_t needed = k * index_bits(messages.size());
+  if (remaining() < needed) {
+    reserve(channel, std::max(needed, refill_batch_));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    if (messages.size() == 1) {
+      channel.send(messages.front());
+      continue;
+    }
+    send_1ofn_impl(channel, messages, rng_,
+                   [&](const Bytes& k0, const Bytes& k1) {
+                     precomputed_send_1of2(channel, pool_[next_++], k0, k1);
+                   });
+  }
+}
+
+BatchedOtReceiver::BatchedOtReceiver(const DhGroup& group, Rng& rng,
+                                     std::size_t refill_batch)
+    : base_(group, rng),
+      rng_(rng),
+      refill_batch_(std::max<std::size_t>(refill_batch, 1)) {}
+
+BatchedOtReceiver::~BatchedOtReceiver() {
+  for (PrecomputedRecvSlot& slot : pool_) {
+    secure_wipe(std::span(slot.pad));
+  }
+}
+
+void BatchedOtReceiver::reserve(net::Endpoint& channel, std::size_t slots) {
+  if (remaining() >= slots) return;
+  const std::size_t top_up = slots - remaining();
+  for (std::size_t i = 0; i < next_; ++i) {
+    secure_wipe(std::span(pool_[i].pad));
+  }
+  pool_.erase(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(next_));
+  next_ = 0;
+  auto fresh = precompute_ot_receiver(channel, base_, top_up, 32, rng_);
+  pool_.insert(pool_.end(), std::make_move_iterator(fresh.begin()),
+               std::make_move_iterator(fresh.end()));
+}
+
+std::vector<Bytes> BatchedOtReceiver::receive(
+    net::Endpoint& channel, std::span<const std::size_t> indices,
+    std::size_t n, std::size_t message_len) {
+  detail::require(!indices.empty() && indices.size() <= n, "ot: bad indices");
+  const std::size_t needed = indices.size() * index_bits(n);
+  if (remaining() < needed) {
+    reserve(channel, std::max(needed, refill_batch_));
+  }
+  std::vector<Bytes> out;
+  out.reserve(indices.size());
+  for (std::size_t index : indices) {
+    detail::require(index < n, "ot_1ofn: index out of range");
+    if (n == 1) {
+      out.push_back(channel.recv());
+      continue;
+    }
+    out.push_back(
+        receive_1ofn_impl(channel, index, n, message_len, [&](bool choice) {
+          return precomputed_receive_1of2(channel, pool_[next_++], choice);
+        }));
+  }
   return out;
 }
 

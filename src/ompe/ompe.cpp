@@ -58,12 +58,30 @@ std::vector<M61> encode_term_coeffs(const math::MultiPoly& secret,
 M61 evaluate_field(const math::MultiPoly& secret,
                    const std::vector<M61>& coeffs,
                    std::span<const M61> z) {
-  M61 acc;
   const auto& terms = secret.terms();
+  // Per-variable power ladders, built once per evaluation point: every term
+  // then looks its factors up instead of re-multiplying z_i exponent-many
+  // times (nonlinear profiles repeat the same high powers across many
+  // terms, making the naive loop quadratic in total degree).
+  std::vector<std::vector<M61>> powers(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    unsigned max_e = 0;
+    for (const math::Term& term : terms) {
+      if (i < term.exps.size()) {
+        max_e = std::max(max_e, static_cast<unsigned>(term.exps[i]));
+      }
+    }
+    std::vector<M61>& ladder = powers[i];
+    ladder.resize(static_cast<std::size_t>(max_e) + 1);
+    ladder[0] = M61(1);
+    for (unsigned e = 1; e <= max_e; ++e) ladder[e] = ladder[e - 1] * z[i];
+  }
+  M61 acc;
   for (std::size_t t = 0; t < terms.size(); ++t) {
     M61 v = coeffs[t];
     for (std::size_t i = 0; i < terms[t].exps.size(); ++i) {
-      for (unsigned e = 0; e < terms[t].exps[i]; ++e) v = v * z[i];
+      const unsigned e = terms[t].exps[i];
+      if (e != 0) v = v * powers[i][e];
     }
     acc = acc + v;
   }

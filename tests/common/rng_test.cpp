@@ -156,5 +156,35 @@ TEST(Rng, BernoulliFrequency) {
   EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
 }
 
+TEST(Rng, FillBytesMatchesWordStream) {
+  // fill_bytes must consume exactly one 64-bit draw per started 8-byte
+  // block (the whole point: no 7/8 entropy waste), laying words out
+  // little-end-first via memcpy.
+  for (std::size_t len : {0UL, 1UL, 7UL, 8UL, 9UL, 16UL, 37UL}) {
+    Rng filler(99), reference(99);
+    std::vector<std::uint8_t> got(len, 0xAA);
+    filler.fill_bytes(got);
+    std::vector<std::uint8_t> expect(len);
+    std::size_t i = 0;
+    while (i < len) {
+      const std::uint64_t word = reference();
+      const std::size_t take = std::min<std::size_t>(8, len - i);
+      std::memcpy(expect.data() + i, &word, take);
+      i += take;
+    }
+    EXPECT_EQ(got, expect) << "len=" << len;
+    // Both generators must have advanced identically.
+    EXPECT_EQ(filler(), reference()) << "len=" << len;
+  }
+}
+
+TEST(Rng, FillBytesDiffersAcrossCalls) {
+  Rng rng(17);
+  std::vector<std::uint8_t> a(32), b(32);
+  rng.fill_bytes(a);
+  rng.fill_bytes(b);
+  EXPECT_NE(a, b);
+}
+
 }  // namespace
 }  // namespace ppds

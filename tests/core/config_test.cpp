@@ -49,13 +49,37 @@ TEST(OtBundle, LoopbackReadyImmediately) {
   EXPECT_NO_THROW(bundle.receiver());
 }
 
-TEST(OtBundle, PrecomputedRequiresPrepare) {
+TEST(OtBundle, PrecomputedReadyImmediately) {
+  // The batched engines auto-refill their pools, so the bundle is usable
+  // even before prepare_sender()/prepare_receiver().
   Rng rng(2);
   SchemeConfig cfg;
   cfg.ot_engine = OtEngine::kPrecomputed;
   OtBundle bundle(cfg, rng);
-  EXPECT_THROW(bundle.sender(), InvalidArgument);
-  EXPECT_THROW(bundle.receiver(), InvalidArgument);
+  EXPECT_NO_THROW(bundle.sender());
+  EXPECT_NO_THROW(bundle.receiver());
+}
+
+TEST(OtBundle, PrecomputedTransfersWithoutPrepare) {
+  SchemeConfig cfg;
+  cfg.ot_engine = OtEngine::kPrecomputed;
+  cfg.group = crypto::GroupId::kModp1024;
+  std::vector<Bytes> msgs{{7, 7}, {8, 8}};
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(20);
+        OtBundle bundle(cfg, rng);
+        bundle.sender().send(ch, msgs, 1);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(21);
+        OtBundle bundle(cfg, rng);
+        const std::vector<std::size_t> want{1};
+        return bundle.receiver().receive(ch, want, 2, 2);
+      });
+  ASSERT_EQ(outcome.b.size(), 1u);
+  EXPECT_EQ(outcome.b[0], (Bytes{8, 8}));
 }
 
 TEST(OtBundle, PrepareIsNoOpForOtherEngines) {

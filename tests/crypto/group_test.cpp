@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace ppds::crypto {
 namespace {
 
@@ -84,6 +87,102 @@ TEST(DhGroup, HashToKeyDependsOnElementAndTag) {
   EXPECT_EQ(g.hash_to_key(x, 0), g.hash_to_key(x, 0));
   EXPECT_NE(g.hash_to_key(x, 0), g.hash_to_key(x, 1));
   EXPECT_NE(g.hash_to_key(x, 0), g.hash_to_key(y, 0));
+}
+
+TEST(FixedBaseTable, MatchesFullExponentiationAllGroups) {
+  for (GroupId id :
+       {GroupId::kModp1024, GroupId::kModp1536, GroupId::kModp2048}) {
+    const DhGroup accel(id);                               // tables on
+    const DhGroup plain(id, /*fixed_base_tables=*/false);  // reference path
+    Rng rng(7);
+    for (int i = 0; i < 8; ++i) {
+      const mpz_class e = accel.random_exponent(rng);
+      EXPECT_EQ(accel.pow_g(e), plain.pow(plain.g(), e));
+    }
+  }
+}
+
+TEST(FixedBaseTable, EdgeExponents) {
+  const DhGroup g(GroupId::kModp1024);
+  EXPECT_EQ(g.pow_g(mpz_class(0)), mpz_class(1));
+  EXPECT_EQ(g.pow_g(mpz_class(1)), g.g());
+  const mpz_class q_minus_1 = g.q() - 1;
+  EXPECT_EQ(g.pow_g(q_minus_1), g.pow(g.g(), q_minus_1));
+}
+
+TEST(FixedBaseTable, MakeTableServesArbitraryBase) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(8);
+  const mpz_class base = g.random_element(rng);
+  const auto table = g.make_table(base);
+  ASSERT_NE(table, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    const mpz_class e = g.random_exponent(rng);
+    EXPECT_EQ(g.pow_with(table.get(), base, e), g.pow(base, e));
+  }
+}
+
+TEST(FixedBaseTable, OutOfRangeExponentFallsBackToFullPow) {
+  const DhGroup g(GroupId::kModp1024);
+  // Wider than the table's exponent range (~1024 bits): must still be
+  // correct via the mpz_powm fallback.
+  const mpz_class wide = g.p() * g.p() + 3;
+  EXPECT_EQ(g.pow_g(wide), g.pow(g.g(), wide));
+}
+
+TEST(FixedBaseTable, DisabledTablesUseFullPath) {
+  const DhGroup plain(GroupId::kModp1024, /*fixed_base_tables=*/false);
+  EXPECT_EQ(plain.make_table(plain.g()), nullptr);
+  reset_exp_counters();
+  (void)plain.pow_g(mpz_class(12345));
+  const ExpCounters after = exp_counters();
+  EXPECT_EQ(after.full, 1u);
+  EXPECT_EQ(after.fixed_base, 0u);
+}
+
+TEST(ExpCounters, DistinguishFullAndFixedBase) {
+  const DhGroup g(GroupId::kModp1024);
+  (void)g.pow_g(mpz_class(2));  // force the lazy table build
+  reset_exp_counters();
+  (void)g.pow_g(mpz_class(12345));
+  (void)g.pow(g.g(), mpz_class(12345));
+  const ExpCounters after = exp_counters();
+  EXPECT_EQ(after.fixed_base, 1u);
+  EXPECT_EQ(after.full, 1u);
+}
+
+TEST(FixedBaseTable, ConcurrentFirstUseIsSafe) {
+  // Exercises the std::call_once lazy build from multiple threads (the tsan
+  // preset turns any race here into a failure).
+  const DhGroup g(GroupId::kModp1024);
+  const DhGroup plain(GroupId::kModp1024, /*fixed_base_tables=*/false);
+  Rng rng(9);
+  constexpr int kThreads = 4;
+  std::vector<mpz_class> exponents;
+  std::vector<mpz_class> expected;
+  for (int i = 0; i < kThreads; ++i) {
+    exponents.push_back(g.random_exponent(rng));
+    expected.push_back(plain.pow(plain.g(), exponents.back()));
+  }
+  std::vector<mpz_class> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { results[static_cast<std::size_t>(i)] = g.pow_g(exponents[static_cast<std::size_t>(i)]); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SharedGroup, ReturnsOneInstancePerGroupId) {
+  EXPECT_EQ(&shared_group(GroupId::kModp1024),
+            &shared_group(GroupId::kModp1024));
+  EXPECT_NE(&shared_group(GroupId::kModp1024),
+            &shared_group(GroupId::kModp1536));
+  EXPECT_EQ(shared_group(GroupId::kModp2048).element_bytes(), 256u);
 }
 
 }  // namespace

@@ -319,5 +319,123 @@ TEST(PrecomputedEngine, MultipleTransfersFromOnePool) {
   EXPECT_EQ(outcome.b[5], msgs[5]);
 }
 
+TEST(BatchedPrecompute, OfflinePhaseIsOneRoundTrip) {
+  // The amortized offline phase for ANY slot count is exactly two messages:
+  // sender's (C, g^r) announce and the receiver's blinded-key bundle.
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(70);
+        NaorPinkasSender np(test_group(), rng);
+        auto slots = precompute_ot_sender(ch, np, 64, 32, rng);
+        return ch.stats().messages;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(71);
+        NaorPinkasReceiver np(test_group(), rng);
+        auto slots = precompute_ot_receiver(ch, np, 64, 32, rng);
+        return ch.stats().messages;
+      });
+  EXPECT_EQ(outcome.a, 1u);
+  EXPECT_EQ(outcome.b, 1u);
+}
+
+TEST(BatchedPrecompute, ZeroSlotsExchangesNothing) {
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(72);
+        NaorPinkasSender np(test_group(), rng);
+        auto slots = precompute_ot_sender(ch, np, 0, 16, rng);
+        return slots.size() + ch.stats().messages;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(73);
+        NaorPinkasReceiver np(test_group(), rng);
+        auto slots = precompute_ot_receiver(ch, np, 0, 16, rng);
+        return slots.size() + ch.stats().messages;
+      });
+  EXPECT_EQ(outcome.a, 0u);
+  EXPECT_EQ(outcome.b, 0u);
+}
+
+TEST(BatchedPrecompute, PadLenOutOfRangeRejected) {
+  auto [a, b] = net::make_channel();
+  Rng rng(74);
+  NaorPinkasSender np(test_group(), rng);
+  EXPECT_THROW(precompute_ot_sender(a, np, 1, 0, rng), InvalidArgument);
+  EXPECT_THROW(precompute_ot_sender(a, np, 1, 33, rng), InvalidArgument);
+}
+
+TEST(BatchedEngine, ReserveThenTransfer) {
+  const auto msgs = make_messages(8, 16);
+  const std::size_t per = PrecomputedOtSender::slots_for(8, 2);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(75);
+        BatchedOtSender s(test_group(), rng);
+        s.reserve(ch, per);
+        EXPECT_GE(s.remaining(), per);
+        s.send(ch, msgs, 2);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(76);
+        BatchedOtReceiver r(test_group(), rng);
+        r.reserve(ch, per);
+        const std::vector<std::size_t> want{1, 6};
+        return r.receive(ch, want, 8, 16);
+      });
+  ASSERT_EQ(outcome.b.size(), 2u);
+  EXPECT_EQ(outcome.b[0], msgs[1]);
+  EXPECT_EQ(outcome.b[1], msgs[6]);
+}
+
+TEST(BatchedEngine, AutoRefillsWithoutReserve) {
+  const auto msgs = make_messages(4, 8);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(77);
+        BatchedOtSender s(test_group(), rng, /*refill_batch=*/4);
+        s.send(ch, msgs, 1);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(78);
+        BatchedOtReceiver r(test_group(), rng, /*refill_batch=*/4);
+        const std::vector<std::size_t> want{3};
+        return r.receive(ch, want, 4, 8);
+      });
+  ASSERT_EQ(outcome.b.size(), 1u);
+  EXPECT_EQ(outcome.b[0], msgs[3]);
+}
+
+TEST(BatchedEngine, RefillsMidSessionAcrossManyTransfers) {
+  // refill_batch smaller than a transfer's need forces repeated symmetric
+  // top-ups across rounds.
+  const auto msgs = make_messages(6, 16);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(79);
+        BatchedOtSender s(test_group(), rng, /*refill_batch=*/2);
+        for (int round = 0; round < 3; ++round) s.send(ch, msgs, 2);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(80);
+        BatchedOtReceiver r(test_group(), rng, /*refill_batch=*/2);
+        std::vector<Bytes> all;
+        for (std::size_t round = 0; round < 3; ++round) {
+          const std::vector<std::size_t> want{round, round + 3};
+          auto got = r.receive(ch, want, 6, 16);
+          all.insert(all.end(), got.begin(), got.end());
+        }
+        return all;
+      });
+  ASSERT_EQ(outcome.b.size(), 6u);
+  for (std::size_t round = 0; round < 3; ++round) {
+    EXPECT_EQ(outcome.b[2 * round], msgs[round]);
+    EXPECT_EQ(outcome.b[2 * round + 1], msgs[round + 3]);
+  }
+}
+
 }  // namespace
 }  // namespace ppds::crypto
