@@ -28,6 +28,7 @@
 
 #include "bench_util.hpp"
 #include "ppds/common/stopwatch.hpp"
+#include "ppds/common/thread_pool.hpp"
 #include "ppds/core/session_pool.hpp"
 #include "ppds/crypto/group.hpp"
 #include "ppds/data/synthetic.hpp"
@@ -154,6 +155,11 @@ int main(int argc, char** argv) {
   auto report = bench::Json::object();
   report.set("figure", "fig9_classification_cost");
   report.set("quick", quick);
+  // The masked-point evaluation loops parallelize across this many worker
+  // threads (OmpeParams::eval_threads = 0 — one task per hardware thread),
+  // so runs from different machines are comparable.
+  report.set("eval_threads",
+             static_cast<std::uint64_t>(ThreadPool::default_concurrency()));
 
   bench::banner("FIG. 9: Classification cost vs data size (a1a..a9a)");
   bench::note(

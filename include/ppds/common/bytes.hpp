@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -29,10 +30,66 @@ inline std::span<const std::uint8_t> as_u8_span(std::string_view s) noexcept {
           s.size()};
 }
 
+/// Stores \p v little-endian into 8 bytes at \p out. Compilers lower the
+/// shift loop to a single store on little-endian targets; the explicit form
+/// keeps the wire format byte-order-defined everywhere.
+inline void store_le64(std::uint8_t* out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Loads a little-endian u64 from 8 bytes at \p in.
+inline std::uint64_t load_le64(const std::uint8_t* in) noexcept {
+  // GCC merges the byte-store loop in store_le64 into one mov but does NOT
+  // merge the mirror-image load loop, which matters at tens of millions of
+  // loads per OMPE round — take the memcpy fast path on little-endian hosts.
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t v;
+    std::memcpy(&v, in, sizeof(v));
+    return v;
+  } else {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    }
+    return v;
+  }
+}
+
+/// IEEE-754 double bit-cast through the little-endian u64 encoding.
+inline void store_le_f64(std::uint8_t* out, double v) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  store_le64(out, bits);
+}
+
+inline double load_le_f64(const std::uint8_t* in) noexcept {
+  const std::uint64_t bits = load_le64(in);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
 /// Appends primitive values to a growing byte buffer.
 class ByteWriter {
  public:
   ByteWriter() = default;
+
+  /// Pre-sizes the underlying buffer. Messages whose size is known up front
+  /// (e.g. the OMPE request: M x (arity+1) x 8 bytes plus the header) should
+  /// reserve once instead of growing through reallocation — the nonlinear
+  /// classification request is tens of megabytes.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
+  /// Appends \p n zero bytes and returns a mutable view of them, so bulk
+  /// producers (possibly on several threads, each owning a disjoint slice)
+  /// can serialize in place with store_le64/store_le_f64. The view is
+  /// invalidated by any subsequent append.
+  std::span<std::uint8_t> append_raw(std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    return std::span<std::uint8_t>(buf_).subspan(at, n);
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
 
@@ -134,6 +191,17 @@ class ByteReader {
     need(n);
     Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  /// Zero-copy variant of raw(): consumes \p n bytes and returns a view into
+  /// the underlying buffer (valid as long as the buffer outlives the view).
+  /// Bulk consumers decode fixed-stride payloads in place with
+  /// load_le64/load_le_f64 instead of paying a per-byte cursor walk.
+  std::span<const std::uint8_t> view(std::size_t n) {
+    need(n);
+    std::span<const std::uint8_t> out = data_.subspan(pos_, n);
     pos_ += n;
     return out;
   }

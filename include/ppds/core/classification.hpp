@@ -33,6 +33,11 @@ struct ClassificationProfile {
   /// Monomial basis for kernels that need an input transform
   /// (empty for the linear kernel: tau == t).
   std::vector<math::Exponents> monomials;
+  /// Evaluation DAG over `monomials` (built once in make()): tau_j =
+  /// tau_parent(j) * t_var(j), so the client transform costs one multiply
+  /// per monomial instead of a per-monomial power walk. Bitwise-identical
+  /// to math::monomial_transform (same ascending-variable product order).
+  math::MonomialDag monomial_dag;
 
   /// Builds the profile both parties agree on. \p taylor_order is the
   /// truncation degree for RBF/sigmoid kernels (ignored otherwise).

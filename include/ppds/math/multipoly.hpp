@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ppds/common/error.hpp"
@@ -67,6 +69,90 @@ class MultiPoly {
  private:
   std::size_t arity_ = 0;
   std::vector<Term> terms_;
+};
+
+/// Compiled evaluation form of a MultiPoly: flat SoA storage (coefficient
+/// array + CSR exponent lists) plus a monomial evaluation DAG over the
+/// divisor closure of the term monomials. Where MultiPoly::evaluate walks
+/// every term's exponent vector with repeated multiplications (quadratic in
+/// total degree for nonlinear profiles), the compiled form evaluates in one
+/// multiplication per DAG node plus one multiply-add per term — and its
+/// inner loop carries no nested vectors, so it vectorizes.
+///
+/// Compile once per secret polynomial; evaluate at many points (the OMPE
+/// sender evaluates every one of the receiver's M disguised points). The
+/// per-term coefficient array can be swapped at evaluation time
+/// (evaluate_with), which is how the exact field backend supplies its
+/// scale-harmonized M61 encodings and how amplified copies evaluate without
+/// recompiling.
+class CompiledMultiPoly {
+ public:
+  /// Sentinel node index standing for the constant 1 (constant terms, and
+  /// the parent of degree-1 monomials).
+  static constexpr std::uint32_t kOne = MonomialDag::kOne;
+
+  CompiledMultiPoly() = default;
+
+  /// Compiles \p poly. Term order (and hence coefficient order) matches
+  /// poly.terms() exactly, so externally encoded coefficient arrays stay
+  /// aligned.
+  explicit CompiledMultiPoly(const MultiPoly& poly);
+
+  std::size_t arity() const { return arity_; }
+  std::size_t term_count() const { return coeffs_.size(); }
+  std::size_t node_count() const { return dag_.size(); }
+
+  /// Per-term coefficients in source order.
+  const std::vector<double>& coeffs() const { return coeffs_; }
+
+  /// CSR view of term \p t's exponents: parallel (variable, exponent) runs.
+  std::span<const std::uint32_t> term_vars(std::size_t t) const {
+    return std::span<const std::uint32_t>(csr_var_)
+        .subspan(csr_offsets_[t], csr_offsets_[t + 1] - csr_offsets_[t]);
+  }
+  std::span<const std::uint8_t> term_exps(std::size_t t) const {
+    return std::span<const std::uint8_t>(csr_exp_)
+        .subspan(csr_offsets_[t], csr_offsets_[t + 1] - csr_offsets_[t]);
+  }
+
+  /// Evaluates with the compiled double coefficients. \p scratch holds the
+  /// node values (resized to node_count()); pass a per-thread instance when
+  /// evaluating concurrently.
+  double evaluate(std::span<const double> x, std::vector<double>& scratch) const {
+    return evaluate_with(std::span<const double>(coeffs_), x, scratch);
+  }
+
+  /// Evaluates with an externally supplied coefficient array (one entry per
+  /// source term, same order as coeffs()) over any ring R with +, * and a
+  /// zero-initializing default constructor — double for the real OMPE
+  /// backend, field::M61 for the exact backend.
+  template <typename R>
+  R evaluate_with(std::span<const R> coeffs, std::span<const R> x,
+                  std::vector<R>& scratch) const {
+    detail::require(coeffs.size() == coeffs_.size(),
+                    "CompiledMultiPoly: coefficient count mismatch");
+    detail::require(x.size() == arity_, "CompiledMultiPoly: arity mismatch");
+    scratch.resize(dag_.size());
+    dag_.evaluate(x, std::span<R>(scratch));
+    R acc{};
+    for (std::size_t t = 0; t < coeffs.size(); ++t) {
+      const std::uint32_t node = term_node_[t];
+      acc = acc + (node == kOne ? coeffs[t] : coeffs[t] * scratch[node]);
+    }
+    return acc;
+  }
+
+ private:
+  std::size_t arity_ = 0;
+  std::vector<double> coeffs_;           ///< per term, source order
+  std::vector<std::uint32_t> term_node_; ///< DAG node per term (kOne = const)
+  /// CSR exponents: term t's nonzero exponents live in
+  /// csr_var_/csr_exp_[csr_offsets_[t] .. csr_offsets_[t+1]).
+  std::vector<std::uint32_t> csr_offsets_;
+  std::vector<std::uint32_t> csr_var_;
+  std::vector<std::uint8_t> csr_exp_;
+  /// Nodes of the divisor closure in graded order.
+  MonomialDag dag_;
 };
 
 }  // namespace ppds::math

@@ -54,11 +54,50 @@ struct OmpeParams {
   double node_lo = 0.3;  ///< |v| lower bound for real-backend nodes
   double node_hi = 1.5;  ///< |v| upper bound for real-backend nodes
 
+  // --- Local performance knobs --------------------------------------------
+  // NOT protocol parameters: they never change wire bytes (transcripts are
+  // bit-identical for every setting, enforced by tests), so they are
+  // excluded from the session digest and the parties need not agree on them.
+
+  /// Worker-task budget for the per-point masked evaluation loops (the
+  /// sender's M-point A(v, z) sweep and the receiver's M-point cover /
+  /// disguise sweep). 0 = one task per hardware thread; 1 = run inline.
+  /// Small workloads stay inline regardless — see docs/PERFORMANCE.md §1.4.
+  unsigned eval_threads = 0;
+
+  /// Evaluate generic (run_sender) secrets through the compiled monomial
+  /// DAG (math::CompiledMultiPoly) instead of naive per-term power walks.
+  /// Off is only useful for baseline benchmarks and equivalence tests.
+  bool use_eval_dag = true;
+
   /// Number of pairs the receiver keeps (polynomial degree p known).
   std::size_t m(unsigned p) const { return static_cast<std::size_t>(p) * q + 1; }
   /// Total number of disguised pairs.
   std::size_t big_m(unsigned p) const { return m(p) * k; }
 };
+
+/// Snapshot of the process-wide OMPE stage counters (mirrors
+/// crypto::exp_counters()): wall time and element counts per protocol stage,
+/// so perf work can attribute cost without a profiler. Both roles feed the
+/// same counters — in-process two-party runs therefore see the union of the
+/// sender's and the receiver's work.
+struct StageCounters {
+  std::uint64_t mask_eval_ns = 0;      ///< sender: parse + h(v) + P(z) sweep
+  std::uint64_t mask_eval_points = 0;  ///< disguised pairs evaluated
+  std::uint64_t cover_eval_ns = 0;     ///< receiver: covers, nodes, disguises
+  std::uint64_t cover_eval_points = 0; ///< disguised pairs produced
+  std::uint64_t ot_ns = 0;             ///< both roles: m-out-of-M OT wall time
+  std::uint64_t ot_elements = 0;       ///< sender: values offered; receiver: kept
+  std::uint64_t interp_ns = 0;         ///< receiver: Lagrange interpolation
+  std::uint64_t interp_points = 0;     ///< interpolation support points
+};
+
+/// Reads the counters (monotonic since process start or the last reset).
+/// Thread-safe.
+StageCounters stage_counters();
+
+/// Resets all stage counters to zero (benchmark bracketing). Thread-safe.
+void reset_stage_counters();
 
 /// Runs the sender role for one evaluation. \p secret must have total
 /// degree >= 1; its arity and degree are public. When amplification is

@@ -8,17 +8,6 @@ namespace ppds::core {
 
 namespace {
 
-/// All monomials over n variables with total degree in [1, p], canonical
-/// order: ascending degree, then the monomials_of_degree order.
-std::vector<math::Exponents> monomials_up_to(std::size_t n, unsigned p) {
-  std::vector<math::Exponents> out;
-  for (unsigned d = 1; d <= p; ++d) {
-    auto level = math::monomials_of_degree(n, d);
-    out.insert(out.end(), level.begin(), level.end());
-  }
-  return out;
-}
-
 /// Truncated-Taylor polynomial (over t) of one RBF term exp(-g*||x - t||^2).
 math::MultiPoly rbf_term_poly(const math::Vec& x, double gamma,
                               unsigned order) {
@@ -88,7 +77,8 @@ ClassificationProfile ClassificationProfile::make(std::size_t input_dim,
       break;
     case svm::KernelType::kPolynomial:
       detail::require(kernel.degree >= 1, "polynomial kernel degree >= 1");
-      profile.monomials = monomials_up_to(input_dim, kernel.degree);
+      profile.monomials = math::monomials_up_to(input_dim, kernel.degree);
+      profile.monomial_dag = math::build_monomial_dag(profile.monomials);
       profile.poly_arity = profile.monomials.size();
       profile.declared_degree = kernel.degree;
       break;
@@ -112,7 +102,11 @@ std::vector<double> ClassificationProfile::transform(
   detail::require(sample.size() == input_dim,
                   "ClassificationProfile: sample dimension mismatch");
   if (monomials.empty()) return sample;
-  return math::monomial_transform(monomials, sample);
+  // Graded basis: each monomial is its divisor parent times one variable,
+  // so the full transform costs one multiplication per monomial.
+  std::vector<double> tau(monomial_dag.size());
+  monomial_dag.evaluate(std::span<const double>(sample), std::span<double>(tau));
+  return tau;
 }
 
 math::MultiPoly expand_decision_function(const svm::SvmModel& model,

@@ -9,12 +9,9 @@
 namespace ppds::core {
 
 std::uint64_t chunk_seed(std::uint64_t seed, std::uint64_t stream) {
-  // SplitMix64 finalizer over the combined input: adjacent (seed, stream)
-  // pairs land in decorrelated RNG streams.
-  std::uint64_t z = seed + stream * 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  // Shared SplitMix64 derivation (see common/rng.hpp): adjacent
+  // (seed, stream) pairs land in decorrelated RNG streams.
+  return splitmix64(seed, stream);
 }
 
 SessionPool::SessionPool(const ClassificationServer& server,

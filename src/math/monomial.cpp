@@ -1,6 +1,8 @@
 #include "ppds/math/monomial.hpp"
 
 #include <cmath>
+#include <string>
+#include <unordered_map>
 
 namespace ppds::math {
 
@@ -65,6 +67,53 @@ double multinomial_coefficient(const Exponents& exps) {
   }
   (void)p;
   return result;
+}
+
+std::vector<Exponents> monomials_up_to(std::size_t n, unsigned p) {
+  std::vector<Exponents> out;
+  for (unsigned d = 1; d <= p; ++d) {
+    auto level = monomials_of_degree(n, d);
+    out.insert(out.end(), std::make_move_iterator(level.begin()),
+               std::make_move_iterator(level.end()));
+  }
+  return out;
+}
+
+MonomialDag build_monomial_dag(const std::vector<Exponents>& monomials) {
+  detail::require(monomials.size() < MonomialDag::kOne,
+                  "build_monomial_dag: basis too large");
+  MonomialDag dag;
+  dag.parent.resize(monomials.size());
+  dag.var.resize(monomials.size());
+  // Exponent vectors keyed as byte strings: built once per basis, so the
+  // string materialization is off the evaluation hot path.
+  std::unordered_map<std::string, std::uint32_t> index;
+  index.reserve(monomials.size() * 2);
+  std::string key;
+  for (std::size_t i = 0; i < monomials.size(); ++i) {
+    const Exponents& exps = monomials[i];
+    std::size_t last = exps.size();
+    unsigned degree = 0;
+    for (std::size_t j = 0; j < exps.size(); ++j) {
+      degree += exps[j];
+      if (exps[j] != 0) last = j;
+    }
+    detail::require(degree >= 1, "build_monomial_dag: constant monomial");
+    dag.var[i] = static_cast<std::uint32_t>(last);
+    if (degree == 1) {
+      dag.parent[i] = MonomialDag::kOne;
+    } else {
+      key.assign(exps.begin(), exps.end());
+      key[last] = static_cast<char>(exps[last] - 1);
+      const auto it = index.find(key);
+      detail::require(it != index.end(),
+                      "build_monomial_dag: basis not closed/graded");
+      dag.parent[i] = it->second;
+    }
+    key.assign(exps.begin(), exps.end());
+    index.emplace(std::move(key), static_cast<std::uint32_t>(i));
+  }
+  return dag;
 }
 
 std::vector<double> monomial_transform(const std::vector<Exponents>& monomials,

@@ -1,12 +1,16 @@
 #include "ppds/ompe/ompe.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <atomic>
+#include <chrono>
 #include <cmath>
-#include <set>
+#include <future>
+#include <utility>
+#include <vector>
 
 #include "ppds/common/ct.hpp"
 #include "ppds/common/error.hpp"
+#include "ppds/common/thread_pool.hpp"
 #include "ppds/field/encoding.hpp"
 #include "ppds/math/interpolate.hpp"
 #include "ppds/math/poly.hpp"
@@ -18,6 +22,135 @@ namespace {
 using field::M61;
 
 constexpr std::uint8_t kMsgVersion = 1;
+constexpr std::size_t kHeaderBytes = 1 + 1 + 4 + 8 + 8 + 8;
+
+// ---------------------------------------------------------------------------
+// Stage counters (mirrors crypto::exp_counters): process-wide atomics fed by
+// scoped timers, so benches attribute protocol cost without a profiler.
+
+struct StageAtomics {
+  std::atomic<std::uint64_t> mask_eval_ns{0};
+  std::atomic<std::uint64_t> mask_eval_points{0};
+  std::atomic<std::uint64_t> cover_eval_ns{0};
+  std::atomic<std::uint64_t> cover_eval_points{0};
+  std::atomic<std::uint64_t> ot_ns{0};
+  std::atomic<std::uint64_t> ot_elements{0};
+  std::atomic<std::uint64_t> interp_ns{0};
+  std::atomic<std::uint64_t> interp_points{0};
+};
+
+StageAtomics& stage_atomics() {
+  static StageAtomics counters;
+  return counters;
+}
+
+/// Adds the scope's wall time to one stage counter on destruction.
+class StageTimer {
+ public:
+  explicit StageTimer(std::atomic<std::uint64_t>& target)
+      : target_(&target), start_(std::chrono::steady_clock::now()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    target_->fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t>* target_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+void count_points(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel masked-point evaluation. One process-wide worker pool, shared by
+// every OMPE call (sessions already running on a core::SessionPool submit
+// here too; tasks are pure compute, so the two pools compose without
+// deadlock). Determinism contract: per-point work depends only on the point
+// index (and a per-call seed), NEVER on the chunking, so transcripts are
+// bit-identical across eval_threads settings.
+
+ThreadPool& eval_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+/// Task count for a sweep of \p points points costing \p per_point elements
+/// each. Small sweeps run inline: a pool handoff costs more than the loop.
+std::size_t plan_tasks(unsigned requested, std::size_t points,
+                       std::size_t per_point) {
+  const std::size_t budget =
+      requested == 0 ? ThreadPool::default_concurrency() : requested;
+  if (budget <= 1 || points <= 1) return 1;
+  if (points * per_point < (std::size_t{1} << 14)) return 1;
+  return std::min(budget, points);
+}
+
+/// Runs fn(begin, end) over a partition of [0, n) into \p tasks contiguous
+/// chunks: tasks-1 on the pool, the first inline on the calling thread (so a
+/// single-worker pool can never stall the caller). fn must only touch
+/// per-point state and disjoint output slices.
+template <typename F>
+void for_each_chunk(std::size_t n, std::size_t tasks, const F& fn) {
+  if (tasks <= 1 || n <= 1) {
+    if (n != 0) fn(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t chunk = (n + tasks - 1) / tasks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks - 1);
+  for (std::size_t begin = chunk; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    futures.push_back(eval_pool().submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  fn(std::size_t{0}, std::min(chunk, n));
+  for (std::future<void>& f : futures) f.get();
+}
+
+// ---------------------------------------------------------------------------
+// Flat open-addressing membership set for nonzero 64-bit keys (0 marks an
+// empty slot): replaces the std::set node-dedup whose per-node allocations
+// dominated the hot loop. Capacity >= 2x the expected insert count, so the
+// linear probe stays short.
+
+class NodeSet {
+ public:
+  explicit NodeSet(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  /// \p node must be nonzero. Returns false when already present.
+  bool insert(std::uint64_t node) {
+    std::size_t idx = static_cast<std::size_t>(splitmix64(node, 0)) & mask_;
+    for (;;) {
+      std::uint64_t& slot = slots_[idx];
+      if (slot == 0) {
+        slot = node;
+        return true;
+      }
+      if (slot == node) return false;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+};
+
+// ---------------------------------------------------------------------------
 
 M61 random_field_element(Rng& rng) {
   for (;;) {
@@ -55,6 +188,9 @@ std::vector<M61> encode_term_coeffs(const math::MultiPoly& secret,
   return out;
 }
 
+/// Naive per-term evaluation with per-variable power ladders: the
+/// use_eval_dag = false baseline (and the reference the DAG property tests
+/// pin CompiledMultiPoly against).
 M61 evaluate_field(const math::MultiPoly& secret,
                    const std::vector<M61>& coeffs,
                    std::span<const M61> z) {
@@ -108,26 +244,26 @@ std::vector<double> real_nodes(Rng& rng, std::size_t count, double lo,
 }
 
 std::vector<M61> field_nodes(Rng& rng, std::size_t count) {
-  std::set<std::uint64_t> seen;
+  NodeSet seen(count);
   std::vector<M61> nodes;
   nodes.reserve(count);
   while (nodes.size() < count) {
     const M61 v = random_nonzero_field_element(rng);
-    if (seen.insert(v.value()).second) nodes.push_back(v);
+    if (seen.insert(v.value())) nodes.push_back(v);
   }
   return nodes;
 }
 
 Bytes encode_value_real(double v) {
-  ByteWriter w;
-  w.f64(v);
-  return w.take();
+  Bytes out(8);
+  store_le_f64(out.data(), v);
+  return out;
 }
 
 Bytes encode_value_field(M61 v) {
-  ByteWriter w;
-  w.u64(v.value());
-  return w.take();
+  Bytes out(8);
+  store_le64(out.data(), v.value());
+  return out;
 }
 
 /// Coefficient bound of the receiver's cover polynomials (real backend).
@@ -192,19 +328,22 @@ RequestHeader read_header(ByteReader& r) {
   return h;
 }
 
-}  // namespace
-
-namespace {
-
 /// Shared sender body: parses and validates the receiver's request, then
 /// evaluates A(v, z) = h(v) + P(z) on every disguised pair with the
 /// supplied evaluators and hands the values to the k-out-of-n OT.
-void run_sender_impl(
-    net::Endpoint& channel, std::size_t arity, unsigned actual_degree,
-    unsigned declared_degree, const OmpeParams& params, crypto::OtSender& ot,
-    Rng& rng,
-    const std::function<double(const std::vector<double>&)>& eval_real,
-    const std::function<M61(const std::vector<M61>&)>& eval_field) {
+///
+/// The evaluators are templated callables (no std::function indirection in
+/// the inner loop): eval_real(z, scratch) -> double and
+/// eval_field(z, scratch) -> M61, where scratch is a per-task workspace the
+/// evaluator may resize freely. They must be safe to invoke concurrently
+/// with distinct scratch objects; the M disguised points are swept in
+/// parallel across the process-wide pool (bit-identical results for every
+/// eval_threads setting — per-point work depends only on the point index).
+template <typename EvalReal, typename EvalField>
+void run_sender_impl(net::Endpoint& channel, std::size_t arity,
+                     unsigned actual_degree, unsigned declared_degree,
+                     const OmpeParams& params, crypto::OtSender& ot, Rng& rng,
+                     const EvalReal& eval_real, const EvalField& eval_field) {
   detail::require(actual_degree >= 1, "ompe: secret must have degree >= 1");
   detail::require(declared_degree == 0 || declared_degree >= actual_degree,
                   "ompe: declared degree below actual degree");
@@ -220,58 +359,113 @@ void run_sender_impl(
       header.total_pairs != big_m || header.keep_pairs != m) {
     throw ProtocolError("ompe: request does not match agreed parameters");
   }
+  // Fixed-stride payload: (node, z_1 .. z_arity) x M, 8 bytes each, decoded
+  // in place (a per-element cursor walk over the tens-of-megabytes nonlinear
+  // request would dominate the sweep).
+  const std::size_t stride = (arity + 1) * 8;
+  const std::span<const std::uint8_t> body = r.view(big_m * stride);
+  r.expect_end();
 
-  std::vector<Bytes> values;
-  values.reserve(big_m);
+  std::vector<Bytes> values(big_m);
+  {
+    const StageTimer timer(stage_atomics().mask_eval_ns);
+    count_points(stage_atomics().mask_eval_points, big_m);
 
-  if (params.backend == Backend::kReal) {
-    // Masking polynomial h, degree p*q, h(0) = 0. The coefficient bound
-    // trades masking magnitude against the conditioning of the receiver's
-    // degree-p*q interpolation (error scales with |h| at the nodes).
-    const auto h = math::random_poly<double>(rng, p * params.q, 0.0, 8.0);
-    std::vector<double> z(arity);
-    std::set<std::uint64_t> seen_nodes;
+    // Node screening before any evaluation. Field nodes dedup on the REDUCED
+    // residue (two wire encodings of one element must still count as a
+    // repeat); real nodes dedup on the exact bit pattern.
+    NodeSet seen(big_m);
     for (std::size_t i = 0; i < big_m; ++i) {
-      const double v = r.f64();
-      if (v == 0.0) throw ProtocolError("ompe: zero node");
-      std::uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(v));
-      std::memcpy(&bits, &v, sizeof(bits));
-      if (!seen_nodes.insert(bits).second) {
-        throw ProtocolError("ompe: repeated node");
+      const std::uint64_t raw = load_le64(body.subspan(i * stride, 8).data());
+      std::uint64_t key = raw;
+      if (params.backend == Backend::kReal) {
+        const double v = load_le_f64(body.subspan(i * stride, 8).data());
+        if (v == 0.0) throw ProtocolError("ompe: zero node");
+      } else {
+        const M61 v(raw);
+        if (v.is_zero()) throw ProtocolError("ompe: zero node");
+        key = v.value();
       }
-      for (double& zi : z) zi = r.f64();
-      values.push_back(encode_value_real(h(v) + eval_real(z)));
+      if (!seen.insert(key)) throw ProtocolError("ompe: repeated node");
     }
-    r.expect_end();
-  } else {
-    // h over the field: uniform coefficients, zero constant term.
-    std::vector<M61> h_coeffs(p * params.q + 1);
-    for (std::size_t i = 1; i < h_coeffs.size(); ++i) {
-      h_coeffs[i] = random_field_element(rng);
-    }
-    const math::Poly<M61> h(std::move(h_coeffs));
-    std::vector<M61> z(arity);
-    std::set<std::uint64_t> seen_nodes;
-    for (std::size_t i = 0; i < big_m; ++i) {
-      const M61 v(r.u64());
-      if (v.is_zero()) throw ProtocolError("ompe: zero node");
-      if (!seen_nodes.insert(v.value()).second) {
-        throw ProtocolError("ompe: repeated node");
+
+    const std::size_t tasks = plan_tasks(params.eval_threads, big_m, arity + 1);
+    if (params.backend == Backend::kReal) {
+      // Masking polynomial h, degree p*q, h(0) = 0. The coefficient bound
+      // trades masking magnitude against the conditioning of the receiver's
+      // degree-p*q interpolation (error scales with |h| at the nodes).
+      const auto h = math::random_poly<double>(rng, p * params.q, 0.0, 8.0);
+      for_each_chunk(big_m, tasks, [&](std::size_t begin, std::size_t end) {
+        std::vector<double> z(arity);
+        std::vector<double> scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::span<const std::uint8_t> pair = body.subspan(i * stride, stride);
+          const double v = load_le_f64(pair.data());
+          for (std::size_t j = 0; j < arity; ++j) {
+            z[j] = load_le_f64(pair.subspan(8 + 8 * j, 8).data());
+          }
+          values[i] = encode_value_real(h(v) + eval_real(std::span<const double>(z), scratch));
+        }
+      });
+    } else {
+      // h over the field: uniform coefficients, zero constant term.
+      std::vector<M61> h_coeffs(p * params.q + 1);
+      for (std::size_t i = 1; i < h_coeffs.size(); ++i) {
+        h_coeffs[i] = random_field_element(rng);
       }
-      for (M61& zi : z) zi = M61(r.u64());
-      values.push_back(encode_value_field(h(v) + eval_field(z)));
+      const math::Poly<M61> h(std::move(h_coeffs));
+      for_each_chunk(big_m, tasks, [&](std::size_t begin, std::size_t end) {
+        std::vector<M61> z(arity);
+        std::vector<M61> scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::span<const std::uint8_t> pair = body.subspan(i * stride, stride);
+          const M61 v(load_le64(pair.data()));
+          for (std::size_t j = 0; j < arity; ++j) {
+            z[j] = M61(load_le64(pair.subspan(8 + 8 * j, 8).data()));
+          }
+          values[i] = encode_value_field(h(v) + eval_field(std::span<const M61>(z), scratch));
+        }
+      });
     }
-    r.expect_end();
   }
 
-  ot.send(channel, values, m);
+  {
+    const StageTimer timer(stage_atomics().ot_ns);
+    count_points(stage_atomics().ot_elements, big_m);
+    ot.send(channel, values, m);
+  }
   // Only m of the M evaluations were transferred; the rest stay secret and
   // must not linger in freed heap pages.
   for (Bytes& v : values) secure_wipe(std::span(v));
 }
 
 }  // namespace
+
+StageCounters stage_counters() {
+  const StageAtomics& a = stage_atomics();
+  StageCounters out;
+  out.mask_eval_ns = a.mask_eval_ns.load(std::memory_order_relaxed);
+  out.mask_eval_points = a.mask_eval_points.load(std::memory_order_relaxed);
+  out.cover_eval_ns = a.cover_eval_ns.load(std::memory_order_relaxed);
+  out.cover_eval_points = a.cover_eval_points.load(std::memory_order_relaxed);
+  out.ot_ns = a.ot_ns.load(std::memory_order_relaxed);
+  out.ot_elements = a.ot_elements.load(std::memory_order_relaxed);
+  out.interp_ns = a.interp_ns.load(std::memory_order_relaxed);
+  out.interp_points = a.interp_points.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_stage_counters() {
+  StageAtomics& a = stage_atomics();
+  a.mask_eval_ns.store(0, std::memory_order_relaxed);
+  a.mask_eval_points.store(0, std::memory_order_relaxed);
+  a.cover_eval_ns.store(0, std::memory_order_relaxed);
+  a.cover_eval_points.store(0, std::memory_order_relaxed);
+  a.ot_ns.store(0, std::memory_order_relaxed);
+  a.ot_elements.store(0, std::memory_order_relaxed);
+  a.interp_ns.store(0, std::memory_order_relaxed);
+  a.interp_points.store(0, std::memory_order_relaxed);
+}
 
 void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
                 const OmpeParams& params, crypto::OtSender& ot, Rng& rng,
@@ -283,12 +477,29 @@ void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
   if (params.backend == Backend::kField) {
     coeffs = encode_term_coeffs(secret, p, params.frac_bits);
   }
-  run_sender_impl(
-      channel, secret.arity(), actual, declared_degree, params, ot, rng,
-      [&secret](const std::vector<double>& z) { return secret.evaluate(z); },
-      [&secret, &coeffs](const std::vector<M61>& z) {
-        return evaluate_field(secret, coeffs, z);
-      });
+  if (params.use_eval_dag) {
+    // Compiled once per call: the per-point sweep then costs one multiply
+    // per DAG node plus one multiply-add per term.
+    const math::CompiledMultiPoly compiled(secret);
+    run_sender_impl(
+        channel, secret.arity(), actual, declared_degree, params, ot, rng,
+        [&compiled](std::span<const double> z, std::vector<double>& scratch) {
+          return compiled.evaluate(z, scratch);
+        },
+        [&compiled, &coeffs](std::span<const M61> z, std::vector<M61>& scratch) {
+          return compiled.evaluate_with(std::span<const M61>(coeffs), z, scratch);
+        });
+  } else {
+    run_sender_impl(
+        channel, secret.arity(), actual, declared_degree, params, ot, rng,
+        [&secret](std::span<const double> z, std::vector<double>& scratch) {
+          scratch.assign(z.begin(), z.end());
+          return secret.evaluate(scratch);
+        },
+        [&secret, &coeffs](std::span<const M61> z, std::vector<M61>&) {
+          return evaluate_field(secret, coeffs, z);
+        });
+  }
   secure_wipe(std::span(coeffs));
 }
 
@@ -323,12 +534,12 @@ void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
 
   run_sender_impl(
       channel, w.size(), 1, declared_degree, params, ot, rng,
-      [&w, b](const std::vector<double>& z) {
+      [&w, b](std::span<const double> z, std::vector<double>&) {
         double acc = b;
         for (std::size_t i = 0; i < z.size(); ++i) acc += w[i] * z[i];
         return acc;
       },
-      [&w_enc, b_enc](const std::vector<M61>& z) {
+      [&w_enc, b_enc](std::span<const M61> z, std::vector<M61>&) {
         M61 acc = b_enc;
         for (std::size_t i = 0; i < z.size(); ++i) acc = acc + w_enc[i] * z[i];
         return acc;
@@ -350,7 +561,12 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
   std::vector<bool> is_kept(big_m, false);
   for (std::size_t idx : keep) is_kept[idx] = true;
 
+  // The request size is known exactly up front: header + M x (arity+1)
+  // 8-byte slots. Reserve once and hand the point sweep a mutable body view
+  // so worker tasks serialize their disjoint slices in place.
+  const std::size_t stride = (arity + 1) * 8;
   ByteWriter w;
+  w.reserve(kHeaderBytes + big_m * stride);
   RequestHeader header;
   header.backend = static_cast<std::uint8_t>(params.backend);
   header.degree = degree;
@@ -358,36 +574,75 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
   header.total_pairs = big_m;
   header.keep_pairs = m;
   write_header(w, header);
+  const std::span<std::uint8_t> body = w.append_raw(big_m * stride);
+  const std::size_t cq = params.q;  // cover degree
 
   if (params.backend == Backend::kReal) {
-    // Cover polynomials G = (g_1 .. g_r), g_i(0) = alpha_i.
     const double bound = cover_bound_for(degree);
-    std::vector<math::Poly<double>> covers;
-    covers.reserve(arity);
-    for (std::size_t i = 0; i < arity; ++i) {
-      covers.push_back(
-          math::random_poly<double>(rng, params.q, alpha[i], bound));
-    }
-    const std::vector<double> nodes =
-        real_nodes(rng, big_m, params.node_lo, params.node_hi);
     std::vector<double> kept_nodes;
     kept_nodes.reserve(m);
-    for (std::size_t i = 0; i < big_m; ++i) {
-      w.f64(nodes[i]);
-      if (is_kept[i]) {
-        kept_nodes.push_back(nodes[i]);
-        for (const auto& g : covers) w.f64(g(nodes[i]));
-      } else {
-        // Disguise tuples drawn from the same distribution family as real
-        // cover evaluations, so Alice cannot tell them apart statistically.
-        for (std::size_t j = 0; j < arity; ++j) {
-          w.f64(random_cover_eval(rng, params.q, nodes[i], bound));
+    {
+      const StageTimer timer(stage_atomics().cover_eval_ns);
+      count_points(stage_atomics().cover_eval_points, big_m);
+
+      // Cover polynomials G = (g_1 .. g_r), g_i(0) = alpha_i, in one flat
+      // coefficient array (variate j's coefficients at [j*(q+1), j*(q+1)+q],
+      // constant first) — the nonlinear scheme has hundreds of thousands of
+      // variates, so per-cover Poly allocations would dominate.
+      std::vector<double> covers((cq + 1) * arity);
+      for (std::size_t j = 0; j < arity; ++j) {
+        covers[j * (cq + 1)] = alpha[j];
+        for (std::size_t l = 1; l <= cq; ++l) {
+          covers[j * (cq + 1) + l] = rng.uniform_nonzero(-bound, bound);
         }
       }
+      const std::vector<double> nodes =
+          real_nodes(rng, big_m, params.node_lo, params.node_hi);
+      // Disguise tuples are drawn from SplitMix64-derived per-point streams
+      // (seeded once from the caller's rng), so the parallel sweep emits
+      // bit-identical bytes for every eval_threads setting.
+      const std::uint64_t disguise_seed = rng();
+
+      const std::size_t tasks = plan_tasks(params.eval_threads, big_m, arity + 1);
+      for_each_chunk(big_m, tasks, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::span<std::uint8_t> slot = body.subspan(i * stride, stride);
+          const double v = nodes[i];
+          store_le_f64(slot.data(), v);
+          if (is_kept[i]) {
+            for (std::size_t j = 0; j < arity; ++j) {
+              // Horner over the flat cover coefficients.
+              const std::size_t base = j * (cq + 1);
+              double acc = covers[base + cq];
+              for (std::size_t l = cq; l-- > 0;) acc = acc * v + covers[base + l];
+              store_le_f64(slot.subspan(8 + 8 * j, 8).data(), acc);
+            }
+          } else {
+            // Disguise tuples drawn from the same distribution family as real
+            // cover evaluations, so Alice cannot tell them apart statistically.
+            Rng point_rng(splitmix64(disguise_seed, i));
+            for (std::size_t j = 0; j < arity; ++j) {
+              store_le_f64(slot.subspan(8 + 8 * j, 8).data(),
+                           random_cover_eval(point_rng, params.q, v, bound));
+            }
+          }
+        }
+      });
+      for (std::size_t i = 0; i < big_m; ++i) {
+        if (is_kept[i]) kept_nodes.push_back(nodes[i]);
+      }
+      secure_wipe(std::span(covers));
     }
     channel.send(w.take());
 
-    std::vector<Bytes> replies = ot.receive(channel, keep, big_m, 8);
+    std::vector<Bytes> replies;
+    {
+      const StageTimer timer(stage_atomics().ot_ns);
+      count_points(stage_atomics().ot_elements, m);
+      replies = ot.receive(channel, keep, big_m, 8);
+    }
+    const StageTimer timer(stage_atomics().interp_ns);
+    count_points(stage_atomics().interp_points, m);
     std::vector<long double> xs(m), ys(m);
     for (std::size_t j = 0; j < m; ++j) {
       ByteReader vr(replies[j]);
@@ -407,31 +662,61 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
 
   // Field backend.
   const FixedPoint fp{params.frac_bits};
-  std::vector<math::Poly<M61>> covers;
-  covers.reserve(arity);
-  for (std::size_t i = 0; i < arity; ++i) {
-    std::vector<M61> c(params.q + 1);
-    c[0] = field::encode(fp, alpha[i]);
-    for (std::size_t j = 1; j < c.size(); ++j) c[j] = random_field_element(rng);
-    covers.emplace_back(std::move(c));
-  }
-  const std::vector<M61> nodes = field_nodes(rng, big_m);
   std::vector<M61> kept_nodes;
   kept_nodes.reserve(m);
-  for (std::size_t i = 0; i < big_m; ++i) {
-    w.u64(nodes[i].value());
-    if (is_kept[i]) {
-      kept_nodes.push_back(nodes[i]);
-      for (const auto& g : covers) w.u64(g(nodes[i]).value());
-    } else {
-      for (std::size_t j = 0; j < arity; ++j) {
-        w.u64(random_field_element(rng).value());
+  {
+    const StageTimer timer(stage_atomics().cover_eval_ns);
+    count_points(stage_atomics().cover_eval_points, big_m);
+
+    // Covers as one flat coefficient array (see the real backend above);
+    // coefficients are uniform field elements (information-theoretic).
+    std::vector<M61> covers((cq + 1) * arity);
+    for (std::size_t j = 0; j < arity; ++j) {
+      covers[j * (cq + 1)] = field::encode(fp, alpha[j]);
+      for (std::size_t l = 1; l <= cq; ++l) {
+        covers[j * (cq + 1) + l] = random_field_element(rng);
       }
     }
+    const std::vector<M61> nodes = field_nodes(rng, big_m);
+    const std::uint64_t disguise_seed = rng();
+
+    const std::size_t tasks = plan_tasks(params.eval_threads, big_m, arity + 1);
+    for_each_chunk(big_m, tasks, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::span<std::uint8_t> slot = body.subspan(i * stride, stride);
+        const M61 v = nodes[i];
+        store_le64(slot.data(), v.value());
+        if (is_kept[i]) {
+          for (std::size_t j = 0; j < arity; ++j) {
+            const std::size_t base = j * (cq + 1);
+            M61 acc = covers[base + cq];
+            for (std::size_t l = cq; l-- > 0;) acc = acc * v + covers[base + l];
+            store_le64(slot.subspan(8 + 8 * j, 8).data(), acc.value());
+          }
+        } else {
+          Rng point_rng(splitmix64(disguise_seed, i));
+          for (std::size_t j = 0; j < arity; ++j) {
+            store_le64(slot.subspan(8 + 8 * j, 8).data(),
+                       random_field_element(point_rng).value());
+          }
+        }
+      }
+    });
+    for (std::size_t i = 0; i < big_m; ++i) {
+      if (is_kept[i]) kept_nodes.push_back(nodes[i]);
+    }
+    secure_wipe(std::span(covers));
   }
   channel.send(w.take());
 
-  std::vector<Bytes> replies = ot.receive(channel, keep, big_m, 8);
+  std::vector<Bytes> replies;
+  {
+    const StageTimer timer(stage_atomics().ot_ns);
+    count_points(stage_atomics().ot_elements, m);
+    replies = ot.receive(channel, keep, big_m, 8);
+  }
+  const StageTimer timer(stage_atomics().interp_ns);
+  count_points(stage_atomics().interp_points, m);
   std::vector<M61> xs(m), ys(m);
   for (std::size_t j = 0; j < m; ++j) {
     ByteReader vr(replies[j]);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <span>
+
 namespace ppds {
 namespace {
 
@@ -121,6 +125,71 @@ TEST(Bytes, OverflowingLengthPrefixThrows) {
   const Bytes buf = w.take();
   ByteReader r(buf);
   EXPECT_THROW(r.bytes(), SerializationError);
+}
+
+TEST(Bytes, StoreLoadLe64IsLittleEndian) {
+  std::uint8_t buf[8];
+  store_le64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(load_le64(buf), 0x0102030405060708ULL);
+}
+
+TEST(Bytes, StoreLoadF64MatchesWriterEncoding) {
+  // The bulk helpers must produce the exact bytes ByteWriter::f64 emits —
+  // the OMPE hot path mixes both on the same wire.
+  for (double v : {0.0, -0.0, 3.14159, -1e300,
+                   std::numeric_limits<double>::denorm_min()}) {
+    ByteWriter w;
+    w.f64(v);
+    const Bytes via_writer = w.take();
+    std::uint8_t buf[8];
+    store_le_f64(buf, v);
+    EXPECT_EQ(Bytes(buf, buf + 8), via_writer);
+    const double back = load_le_f64(buf);
+    EXPECT_EQ(std::signbit(back), std::signbit(v));
+    EXPECT_TRUE(back == v || (std::isnan(back) && std::isnan(v)));
+  }
+}
+
+TEST(Bytes, WriterAppendRawServesInPlaceSerialization) {
+  ByteWriter w;
+  w.reserve(24);
+  w.u64(7);
+  const std::span<std::uint8_t> body = w.append_raw(16);
+  ASSERT_EQ(body.size(), 16u);
+  for (std::uint8_t b : body) EXPECT_EQ(b, 0);  // zero-initialized
+  store_le64(body.data(), 0xaabbccddULL);
+  store_le_f64(body.subspan(8).data(), 2.5);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u64(), 7u);
+  EXPECT_EQ(r.u64(), 0xaabbccddULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 2.5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, ReaderViewIsZeroCopyAndAdvances) {
+  ByteWriter w;
+  w.u64(1);
+  w.u64(2);
+  w.u64(3);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  const std::span<const std::uint8_t> head = r.view(16);
+  EXPECT_EQ(head.data(), buf.data());  // no copy
+  EXPECT_EQ(load_le64(head.data()), 1u);
+  EXPECT_EQ(load_le64(head.subspan(8).data()), 2u);
+  EXPECT_EQ(r.u64(), 3u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, ReaderViewPastEndThrows) {
+  ByteWriter w;
+  w.u64(1);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.view(9), SerializationError);
 }
 
 }  // namespace

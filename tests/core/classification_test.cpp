@@ -60,6 +60,46 @@ TEST(ClassificationProfile, PolynomialProfileBuildsMonomialBasis) {
   EXPECT_EQ(tau.size(), 19u);
 }
 
+TEST(ClassificationProfile, DagTransformMatchesNaiveBitwise) {
+  // The profile's DAG transform replaced math::monomial_transform on the
+  // client hot path; the two must agree BIT FOR BIT, or the protocol values
+  // (and the exact field backend's fixed-point encodings) would drift.
+  Rng rng(23);
+  for (unsigned degree : {2u, 3u, 4u}) {
+    const auto profile = ClassificationProfile::make(
+        4, svm::Kernel::paper_polynomial(degree));
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<double> t(4);
+      for (auto& v : t) v = rng.uniform(-2.0, 2.0);
+      const auto via_dag = profile.transform(t);
+      const auto naive = math::monomial_transform(profile.monomials, t);
+      ASSERT_EQ(via_dag.size(), naive.size());
+      for (std::size_t j = 0; j < naive.size(); ++j) {
+        EXPECT_EQ(via_dag[j], naive[j]) << "degree=" << degree << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Classification, ValuesInvariantUnderEvalThreads) {
+  // eval_threads is a local knob: with identical seeds the whole protocol —
+  // and hence Bob's randomized values — must come out identical.
+  const auto model = svm::SvmModel(
+      svm::Kernel::paper_polynomial(2),
+      {{0.8, -0.6, 0.2}, {-0.3, 0.5, 0.9}}, {1.0, -0.7}, 0.1);
+  const auto profile = ClassificationProfile::make(3, model.kernel());
+  const std::vector<math::Vec> samples{{0.2, -0.4, 0.6}, {-0.1, 0.3, -0.5}};
+  auto cfg = SchemeConfig::fast_simulation();
+  cfg.ompe.eval_threads = 1;
+  const auto sequential = private_values(model, profile, cfg, samples, 77);
+  cfg.ompe.eval_threads = 8;
+  const auto parallel = private_values(model, profile, cfg, samples, 77);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i], parallel[i]) << i;
+  }
+}
+
 TEST(ClassificationProfile, SampleDimensionChecked) {
   const auto profile = ClassificationProfile::make(3, svm::Kernel::linear());
   EXPECT_THROW(profile.transform({1.0}), InvalidArgument);

@@ -30,6 +30,19 @@ TEST(ProtocolDigest, DeterministicAndParameterSensitive) {
   EXPECT_NE(protocol_digest(profile, cfg), protocol_digest(poly_profile, cfg));
 }
 
+TEST(ProtocolDigest, IgnoresLocalPerformanceKnobs) {
+  // eval_threads / use_eval_dag / fixed_base_tables never change wire bytes,
+  // so two parties with different settings must still agree on the digest.
+  const auto profile =
+      ClassificationProfile::make(2, svm::Kernel::paper_polynomial(2));
+  const auto cfg = SchemeConfig::fast_simulation();
+  auto tuned = cfg;
+  tuned.ompe.eval_threads = 1;
+  tuned.ompe.use_eval_dag = false;
+  tuned.fixed_base_tables = false;
+  EXPECT_EQ(protocol_digest(profile, cfg), protocol_digest(profile, tuned));
+}
+
 TEST(Session, AgreedParametersClassifyEndToEnd) {
   const auto model = toy_model();
   const auto profile = ClassificationProfile::make(2, model.kernel());

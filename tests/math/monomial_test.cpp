@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <set>
+#include <span>
+#include <utility>
 
 #include "ppds/common/rng.hpp"
 #include "ppds/math/vec.hpp"
@@ -104,6 +106,71 @@ TEST(Monomial, DotPowerIdentity) {
 TEST(Monomial, TransformDimensionMismatchThrows) {
   const auto monos = monomials_of_degree(3, 2);
   EXPECT_THROW(monomial_transform(monos, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Monomial, UpToConcatenatesDegreeLevels) {
+  // monomials_up_to is graded: the degree-d block sits after all lower
+  // degrees and matches monomials_of_degree(n, d) exactly. Both the protocol
+  // wire order and the DAG builder depend on this.
+  const std::size_t n = 4;
+  const unsigned p = 3;
+  const auto all = monomials_up_to(n, p);
+  std::size_t offset = 0;
+  for (unsigned d = 1; d <= p; ++d) {
+    const auto level = monomials_of_degree(n, d);
+    ASSERT_LE(offset + level.size(), all.size());
+    for (std::size_t j = 0; j < level.size(); ++j) {
+      EXPECT_EQ(all[offset + j], level[j]) << "d=" << d << " j=" << j;
+    }
+    offset += level.size();
+  }
+  EXPECT_EQ(offset, all.size());
+}
+
+TEST(Monomial, DagMatchesTransformBitwise) {
+  // The DAG multiplies in the same ascending-variable order as the naive
+  // transform, so the doubles must match BIT FOR BIT — the nonlinear client
+  // transform swaps one for the other without renegotiating anything.
+  Rng rng(17);
+  for (auto [n, p] : {std::pair<std::size_t, unsigned>{5, 3}, {3, 4}, {8, 2},
+                      {1, 6}}) {
+    const auto monos = monomials_up_to(n, p);
+    const MonomialDag dag = build_monomial_dag(monos);
+    ASSERT_EQ(dag.size(), monos.size());
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<double> t(n);
+      for (auto& v : t) v = rng.uniform(-2.0, 2.0);
+      const auto naive = monomial_transform(monos, t);
+      std::vector<double> via_dag(dag.size());
+      dag.evaluate(std::span<const double>(t), std::span<double>(via_dag));
+      for (std::size_t j = 0; j < monos.size(); ++j) {
+        EXPECT_EQ(naive[j], via_dag[j]) << "n=" << n << " p=" << p << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Monomial, DagRejectsNonClosedBasis) {
+  // x^2 without x: the divisor parent is missing.
+  EXPECT_THROW(build_monomial_dag({Exponents{2}}), InvalidArgument);
+  // Degree-2 before its parent: graded order violated.
+  EXPECT_THROW(build_monomial_dag({Exponents{1, 1}, Exponents{1, 0},
+                                   Exponents{0, 1}}),
+               InvalidArgument);
+}
+
+TEST(Monomial, DagRejectsConstantMonomial) {
+  EXPECT_THROW(build_monomial_dag({Exponents{0, 0}}), InvalidArgument);
+}
+
+TEST(Monomial, DagEvaluateSizeMismatchThrows) {
+  const auto monos = monomials_up_to(2, 2);
+  const MonomialDag dag = build_monomial_dag(monos);
+  std::vector<double> t{0.5, 0.25};
+  std::vector<double> out(dag.size() + 1);
+  EXPECT_THROW(
+      dag.evaluate(std::span<const double>(t), std::span<double>(out)),
+      InvalidArgument);
 }
 
 }  // namespace

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <span>
+
 #include "ppds/common/rng.hpp"
+#include "ppds/field/m61.hpp"
 
 namespace ppds::math {
 namespace {
@@ -118,6 +122,124 @@ TEST(MultiPoly, AdditionOperator) {
   b.add_constant(3.0);
   const MultiPoly c = a + b;
   EXPECT_DOUBLE_EQ(c.evaluate({2.0}), 2.0 + 4.0 + 3.0);
+}
+
+/// Random sparse polynomial: \p terms terms of total degree <= \p max_degree
+/// over \p arity variables (constants allowed).
+MultiPoly random_poly(Rng& rng, std::size_t arity, std::size_t terms,
+                      unsigned max_degree) {
+  MultiPoly p(arity);
+  for (std::size_t t = 0; t < terms; ++t) {
+    Exponents exps(arity, 0);
+    unsigned budget = static_cast<unsigned>(
+        rng.uniform_u64(0, max_degree));
+    while (budget > 0) {
+      const std::size_t var = rng.uniform_u64(0, arity - 1);
+      const unsigned e = static_cast<unsigned>(rng.uniform_u64(1, budget));
+      exps[var] = static_cast<std::uint8_t>(exps[var] + e);
+      budget -= e;
+    }
+    p.add_term(rng.uniform(-3.0, 3.0), std::move(exps));
+  }
+  return p;
+}
+
+TEST(CompiledMultiPoly, MatchesNaiveEvaluationOnRandomPolys) {
+  Rng rng(31);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t arity = 1 + rng.uniform_u64(0, 4);
+    const MultiPoly p = random_poly(rng, arity, 1 + rng.uniform_u64(0, 9), 5);
+    const CompiledMultiPoly compiled(p);
+    EXPECT_EQ(compiled.term_count(), p.terms().size());
+    std::vector<double> scratch;
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<double> x(arity);
+      for (auto& v : x) v = rng.uniform(-1.5, 1.5);
+      const double naive = p.evaluate(x);
+      const double fast =
+          compiled.evaluate(std::span<const double>(x), scratch);
+      EXPECT_NEAR(fast, naive, 1e-12 * (1.0 + std::abs(naive)))
+          << "round " << round;
+    }
+  }
+}
+
+TEST(CompiledMultiPoly, ExactlyMatchesNaiveOverTheField) {
+  // Field arithmetic is associative and exact, so the DAG order change must
+  // be invisible: EXPECT_EQ, not NEAR.
+  using field::M61;
+  Rng rng(32);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t arity = 1 + rng.uniform_u64(0, 3);
+    const MultiPoly p = random_poly(rng, arity, 1 + rng.uniform_u64(0, 7), 4);
+    const CompiledMultiPoly compiled(p);
+    // External field coefficients, one per source term.
+    std::vector<M61> coeffs;
+    for (std::size_t t = 0; t < p.terms().size(); ++t) {
+      coeffs.push_back(M61(rng() >> 3));
+    }
+    std::vector<M61> scratch;
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<M61> z(arity);
+      for (auto& v : z) v = M61(rng() >> 3);
+      // Naive: per-term exponent walk.
+      M61 naive;
+      for (std::size_t t = 0; t < p.terms().size(); ++t) {
+        M61 v = coeffs[t];
+        const Exponents& exps = p.terms()[t].exps;
+        for (std::size_t i = 0; i < exps.size(); ++i) {
+          for (unsigned e = 0; e < exps[i]; ++e) v = v * z[i];
+        }
+        naive = naive + v;
+      }
+      const M61 fast = compiled.evaluate_with(
+          std::span<const M61>(coeffs), std::span<const M61>(z), scratch);
+      EXPECT_EQ(fast.value(), naive.value()) << "round " << round;
+    }
+  }
+}
+
+TEST(CompiledMultiPoly, ConstantOnlyPolynomial) {
+  MultiPoly p(3);
+  p.add_constant(4.25);
+  const CompiledMultiPoly compiled(p);
+  EXPECT_EQ(compiled.node_count(), 0u);
+  std::vector<double> scratch;
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(compiled.evaluate(std::span<const double>(x), scratch),
+                   4.25);
+}
+
+TEST(CompiledMultiPoly, ExternalCoefficientsSwapWithoutRecompiling) {
+  MultiPoly p(2);
+  p.add_term(1.0, {2, 1});
+  p.add_term(1.0, {0, 1});
+  p.add_constant(1.0);
+  const CompiledMultiPoly compiled(p);
+  const std::vector<double> x{0.5, -2.0};
+  std::vector<double> scratch;
+  const double base = compiled.evaluate(std::span<const double>(x), scratch);
+  const std::vector<double> doubled{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(
+      compiled.evaluate_with(std::span<const double>(doubled),
+                             std::span<const double>(x), scratch),
+      2.0 * base);
+}
+
+TEST(CompiledMultiPoly, MismatchesThrow) {
+  MultiPoly p(2);
+  p.add_term(1.0, {1, 1});
+  const CompiledMultiPoly compiled(p);
+  std::vector<double> scratch;
+  const std::vector<double> bad_x{1.0};
+  EXPECT_THROW(compiled.evaluate(std::span<const double>(bad_x), scratch),
+               InvalidArgument);
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> bad_coeffs{1.0, 2.0};
+  EXPECT_THROW(
+      compiled.evaluate_with(std::span<const double>(bad_coeffs),
+                             std::span<const double>(x), scratch),
+      InvalidArgument);
 }
 
 }  // namespace
