@@ -34,6 +34,7 @@ int main() {
     auto outcome = net::run_two_party(
         [&](net::Endpoint& ch) {
           // The trainer's view: one request blob + the OT flow.
+          ch.set_stage(net::Stage::kOmpeRequest);
           const Bytes request = ch.recv();
           std::printf("  run %d: Alice sees a %4zu-byte request: [", run + 1,
                       request.size());

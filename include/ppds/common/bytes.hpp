@@ -3,9 +3,11 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "ppds/common/error.hpp"
@@ -20,7 +22,48 @@
 
 namespace ppds {
 
-using Bytes = std::vector<std::uint8_t>;
+/// std::allocator whose value-construction is DEFAULT-initialization: a
+/// resize() that grows leaves the new elements uninitialized instead of
+/// zero-filling them. The OMPE receiver's request body is tens of megabytes
+/// whose every byte is overwritten by the point sweep immediately after
+/// ByteWriter::append_raw — the vector's mandatory zero-fill was pure waste
+/// (ROADMAP open item; before/after numbers in docs/PERFORMANCE.md §1.5).
+/// Anyone reading an element they did not first write gets indeterminate
+/// bytes, exactly as with a raw buffer.
+// GCC 12's -Wstringop-overflow produces bogus "writing N bytes into a region
+// of size M" errors when the element-wise construct loop of a
+// custom-allocator vector copy is inlined and vectorized (PR 105329 family).
+// The suppression is scoped to this allocator only — the warning stays live
+// for the rest of the codebase.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
+template <typename T>
+class default_init_allocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = default_init_allocator<U>;
+  };
+
+  using std::allocator<T>::allocator;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::construct_at(ptr, std::forward<Args>(args)...);
+  }
+};
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+using Bytes = std::vector<std::uint8_t, default_init_allocator<std::uint8_t>>;
 
 /// Views a string's characters as unsigned bytes. `unsigned char` may alias
 /// any object, so this cast is well-defined; keeping it here (rather than
@@ -81,9 +124,11 @@ class ByteWriter {
   /// classification request is tens of megabytes.
   void reserve(std::size_t bytes) { buf_.reserve(bytes); }
 
-  /// Appends \p n zero bytes and returns a mutable view of them, so bulk
-  /// producers (possibly on several threads, each owning a disjoint slice)
-  /// can serialize in place with store_le64/store_le_f64. The view is
+  /// Appends \p n UNINITIALIZED bytes and returns a mutable view of them, so
+  /// bulk producers (possibly on several threads, each owning a disjoint
+  /// slice) can serialize in place with store_le64/store_le_f64. The caller
+  /// must write every byte of the view before the buffer is sent (Bytes uses
+  /// default_init_allocator, so growth pays no zero-fill). The view is
   /// invalidated by any subsequent append.
   std::span<std::uint8_t> append_raw(std::size_t n) {
     const std::size_t at = buf_.size();

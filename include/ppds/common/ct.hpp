@@ -79,4 +79,42 @@ inline void secure_wipe_object(T& obj) noexcept {
   secure_wipe(std::span<T, 1>(&obj, 1));
 }
 
+/// RAII guard: secure_wipes a contiguous container of trivially-copyable
+/// elements when the scope exits — including by EXCEPTION, which is the
+/// case the explicit wipe calls on success paths miss. Protocol code parks
+/// its secret scratch (masked evaluations, cover coefficients,
+/// interpolation support) under one of these so an abort mid-round leaves
+/// no secret bytes in freed heap pages.
+template <typename Container>
+class ScopedWipe {
+ public:
+  explicit ScopedWipe(Container& target) noexcept : target_(&target) {}
+
+  ScopedWipe(const ScopedWipe&) = delete;
+  ScopedWipe& operator=(const ScopedWipe&) = delete;
+
+  ~ScopedWipe() { secure_wipe(std::span(*target_)); }
+
+ private:
+  Container* target_;
+};
+
+/// RAII guard for a container of byte buffers (std::vector<Bytes> and
+/// friends): wipes every element on scope exit.
+template <typename Container>
+class ScopedWipeEach {
+ public:
+  explicit ScopedWipeEach(Container& target) noexcept : target_(&target) {}
+
+  ScopedWipeEach(const ScopedWipeEach&) = delete;
+  ScopedWipeEach& operator=(const ScopedWipeEach&) = delete;
+
+  ~ScopedWipeEach() {
+    for (auto& buffer : *target_) secure_wipe(std::span(buffer));
+  }
+
+ private:
+  Container* target_;
+};
+
 }  // namespace ppds

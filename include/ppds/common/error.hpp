@@ -45,6 +45,20 @@ class SerializationError : public ProtocolError {
   explicit SerializationError(const std::string& what) : ProtocolError(what) {}
 };
 
+/// A blocking receive exceeded its deadline. The peer may be slow, wedged or
+/// gone; the session must abort (and may be retried with fresh randomness).
+class TimeoutError : public ProtocolError {
+ public:
+  explicit TimeoutError(const std::string& what) : ProtocolError(what) {}
+};
+
+/// A send would overflow the channel's configured queue-byte cap. Failing
+/// the session beats buffering without bound against a stalled peer.
+class BackpressureError : public ProtocolError {
+ public:
+  explicit BackpressureError(const std::string& what) : ProtocolError(what) {}
+};
+
 namespace detail {
 /// Throws InvalidArgument with \p what when \p cond is false.
 inline void require(bool cond, const char* what) {

@@ -63,6 +63,12 @@ class OtBundle {
   void prepare_sender(net::Endpoint& channel, std::size_t slots);
   void prepare_receiver(net::Endpoint& channel, std::size_t slots);
 
+  /// Fails the bundle closed after a mid-protocol error: wipes and poisons
+  /// any precomputed OT slot pools (see BatchedOtSender::abort — a half-
+  /// consumed batch must never be resumed). Safe to call for every engine;
+  /// the stateless engines have nothing to discard.
+  void abort() noexcept;
+
   crypto::OtSender& sender();
   crypto::OtReceiver& receiver();
 

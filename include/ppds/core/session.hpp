@@ -19,9 +19,15 @@
 ///
 /// Wire format (little-endian; see docs/PROTOCOL.md):
 ///   hello:  "PPDS" magic (4 bytes), u32 protocol version, 32-byte digest,
-///           u64 query count
+///           u64 session id (client-drawn, adopted by both endpoints on
+///           success; similarity hellos omit the query count), u64 query
+///           count
 ///   ack:    u8 status (1 = accepted, 0 = denied), 32-byte server digest
 ///           (echoed so a denied client can log both views)
+///
+/// The handshake itself runs at frame stage kHandshake / session id 0; on
+/// an accepting ack both endpoints adopt the client's session id, so every
+/// later frame is rejected if it strays across sessions (net/framing.hpp).
 
 namespace ppds::core {
 

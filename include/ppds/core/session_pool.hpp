@@ -1,10 +1,12 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "ppds/common/thread_pool.hpp"
 #include "ppds/core/session.hpp"
+#include "ppds/net/fault.hpp"
 
 /// \file session_pool.hpp
 /// Parallel session layer: runs many independent two-party sessions
@@ -28,6 +30,44 @@ namespace ppds::core {
 /// adjacent (seed, stream) inputs.
 std::uint64_t chunk_seed(std::uint64_t seed, std::uint64_t stream);
 
+/// Whole-session retry policy. A failed session (any ProtocolError:
+/// timeout, fault-corrupted frame, closed channel, backpressure) is
+/// discarded entirely — its channels, its OT precompute, its randomness —
+/// and re-run from the handshake with FRESH per-attempt randomness. This is
+/// safe because every OMPE evaluation draws fresh amplifiers, masks and
+/// covers: a retried query reveals nothing beyond what one clean run
+/// reveals (docs/PROTOCOL.md §7; resuming a half-consumed session would
+/// not be). Attempt 0 uses exactly the original per-chunk seeds, so a
+/// policy with max_attempts == 1 is bit-identical to no retry layer at all.
+struct RetryPolicy {
+  std::size_t max_attempts = 1;  ///< 1 = fail on first error
+  std::chrono::milliseconds backoff{0};  ///< sleep before attempt n >= 1
+  double backoff_multiplier = 2.0;       ///< exponential growth per attempt
+  /// Deterministic jitter: the backoff is scaled by a factor in
+  /// [1 - jitter, 1 + jitter] drawn from a SplitMix64 stream over the
+  /// session seed (reproducible, unlike wall-clock-seeded jitter).
+  double jitter = 0.0;
+};
+
+/// Transport configuration of the per-session channels a pool creates:
+/// queue bounds and latency model, a receive deadline, optional
+/// deterministic fault injection (chaos tests), and the retry policy.
+struct TransportOptions {
+  net::ChannelOptions channel;
+  /// recv() deadline measured from session-attempt start; zero blocks
+  /// forever. A silent peer (e.g. its frame was dropped) then surfaces as
+  /// TimeoutError instead of a hang.
+  std::chrono::milliseconds recv_timeout{0};
+  /// Faults injected into party A's (server's) / party B's (client's)
+  /// outgoing frames. Default: none.
+  net::FaultSpec fault_a;
+  net::FaultSpec fault_b;
+  /// Seed of the fault-decision streams; every (chunk, attempt, direction)
+  /// derives its own SplitMix64 stream from it, so runs reproduce exactly.
+  std::uint64_t fault_seed = 0;
+  RetryPolicy retry;
+};
+
 /// Runs classification sessions (one server + one client pair per chunk)
 /// over an owned ThreadPool.
 class SessionPool {
@@ -45,6 +85,14 @@ class SessionPool {
   std::vector<int> classify_batch(
       const std::vector<std::vector<double>>& samples, std::uint64_t seed,
       std::size_t chunk_size = 8);
+
+  /// As above, over explicitly configured transport: bounded/latency
+  /// channels, receive deadlines, deterministic fault injection, and
+  /// whole-session retry (see TransportOptions). With the default options
+  /// this is identical to the plain overload.
+  std::vector<int> classify_batch(
+      const std::vector<std::vector<double>>& samples, std::uint64_t seed,
+      std::size_t chunk_size, const TransportOptions& transport);
 
   std::size_t threads() const { return pool_.size(); }
 
@@ -68,6 +116,10 @@ class SimilaritySessionPool {
                         std::size_t threads = ThreadPool::default_concurrency());
 
   std::vector<double> evaluate_batch(std::size_t count, std::uint64_t seed);
+
+  /// As above over explicitly configured transport (see TransportOptions).
+  std::vector<double> evaluate_batch(std::size_t count, std::uint64_t seed,
+                                     const TransportOptions& transport);
 
   std::size_t threads() const { return pool_.size(); }
 

@@ -239,6 +239,19 @@ class BatchedOtSender : public OtSender {
   void send(net::Endpoint& channel, std::span<const Bytes> messages,
             std::size_t k) override;
 
+  /// Poisons the engine after a failed round trip: wipes every precomputed
+  /// pad IN PLACE and refuses all further use (ProtocolError). Correlated
+  /// randomness must never be resumed once the two sides may disagree on
+  /// how much of it was consumed — a retried query runs on a FRESH engine.
+  void abort() noexcept;
+
+  bool aborted() const { return aborted_; }
+
+  /// Abort-audit hook: true when every pad byte in the pool is zero (the
+  /// post-abort hygiene check of the chaos tests reads this instead of
+  /// poking freed memory).
+  bool pool_wiped() const;
+
   std::size_t remaining() const { return pool_.size() - next_; }
 
  private:
@@ -247,6 +260,7 @@ class BatchedOtSender : public OtSender {
   std::size_t refill_batch_;
   std::vector<PrecomputedSendSlot> pool_;
   std::size_t next_ = 0;
+  bool aborted_ = false;
 };
 
 class BatchedOtReceiver : public OtReceiver {
@@ -261,6 +275,14 @@ class BatchedOtReceiver : public OtReceiver {
                              std::span<const std::size_t> indices,
                              std::size_t n, std::size_t message_len) override;
 
+  /// See BatchedOtSender::abort().
+  void abort() noexcept;
+
+  bool aborted() const { return aborted_; }
+
+  /// See BatchedOtSender::pool_wiped().
+  bool pool_wiped() const;
+
   std::size_t remaining() const { return pool_.size() - next_; }
 
  private:
@@ -269,6 +291,7 @@ class BatchedOtReceiver : public OtReceiver {
   std::size_t refill_batch_;
   std::vector<PrecomputedRecvSlot> pool_;
   std::size_t next_ = 0;
+  bool aborted_ = false;
 };
 
 /// Online phase: consumes one precomputed slot per 1-out-of-2 transfer.

@@ -1,15 +1,18 @@
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "ppds/common/bytes.hpp"
+#include "ppds/common/error.hpp"
+#include "ppds/net/framing.hpp"
 
 /// \file channel.hpp
 /// In-process simulated network between two protocol parties.
@@ -20,9 +23,21 @@
 /// exact communication cost (bytes and message rounds) of a protocol run —
 /// the distributed-systems measurement the paper's setting implies.
 ///
+/// Resilience semantics (docs/PROTOCOL.md §6):
+///  * every message travels inside a Frame (framing.hpp) whose session id,
+///    sequence number, stage tag and checksum are validated on receipt;
+///  * recv() honors a Deadline and throws TimeoutError instead of blocking
+///    forever on a silent peer;
+///  * queues are BOUNDED: a send that would exceed the byte cap throws
+///    BackpressureError rather than buffering without limit;
+///  * close() tears down BOTH directions (TCP close, not shutdown); already
+///    queued messages still drain, then recv() throws ProtocolError, and
+///    further sends throw immediately.
+///
 /// An optional LatencyModel charges simulated wire time per message; the
 /// charge is accounted, not slept, so benches stay fast while still
-/// reporting network cost.
+/// reporting network cost. Wire time and TrafficStats::bytes cover payload
+/// bytes only; frame-header bytes are tracked in overhead_bytes.
 
 namespace ppds::net {
 
@@ -44,32 +59,87 @@ struct LatencyModel {
 /// Traffic statistics of one endpoint (what this party SENT).
 struct TrafficStats {
   std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
+  std::uint64_t bytes = 0;           ///< payload bytes
+  std::uint64_t overhead_bytes = 0;  ///< frame-header bytes
   double simulated_wire_us = 0.0;
+};
+
+/// Absolute receive deadline. Deadline{} (or never()) blocks indefinitely;
+/// after(d) expires d from now.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline never() { return Deadline{}; }
+
+  static Deadline after(std::chrono::milliseconds wait) {
+    Deadline d;
+    d.at_ = std::chrono::steady_clock::now() + wait;
+    return d;
+  }
+
+  bool is_never() const { return !at_.has_value(); }
+  std::chrono::steady_clock::time_point at() const { return *at_; }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
+/// Tunables of a channel pair. The byte cap bounds each DIRECTION's queued
+/// payload; one full OMPE request (tens of MB) plus headroom fits the
+/// default comfortably, while a producer that outruns a stalled peer fails
+/// fast instead of OOMing the process.
+struct ChannelOptions {
+  LatencyModel latency;
+  std::size_t max_queue_bytes = std::size_t{1} << 30;  // 1 GiB
 };
 
 namespace detail {
 
-/// One direction of the duplex link: an unbounded blocking queue.
+/// One framed message in flight.
+struct Frame {
+  FrameHeader header;
+  Bytes payload;
+};
+
+/// One direction of the duplex link: a bounded blocking queue of frames.
 class Pipe {
  public:
-  void push(Bytes msg) {
+  explicit Pipe(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  void push(Frame frame) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back(std::move(msg));
+      if (closed_) {
+        throw ProtocolError("send on closed channel");
+      }
+      if (queued_bytes_ + frame.payload.size() > max_bytes_) {
+        throw BackpressureError(
+            "channel queue over byte cap (" +
+            std::to_string(queued_bytes_ + frame.payload.size()) + " > " +
+            std::to_string(max_bytes_) + "); peer is not draining");
+      }
+      queued_bytes_ += frame.payload.size();
+      queue_.push_back(std::move(frame));
     }
     cv_.notify_one();
   }
 
-  Bytes pop() {
+  Frame pop(const Deadline& deadline) {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    const auto ready = [&] { return !queue_.empty() || closed_; };
+    if (deadline.is_never()) {
+      cv_.wait(lock, ready);
+    } else if (!cv_.wait_until(lock, deadline.at(), ready)) {
+      throw TimeoutError("recv deadline exceeded; peer silent");
+    }
     if (queue_.empty()) {
       throw ProtocolError("channel closed by peer");
     }
-    Bytes msg = std::move(queue_.front());
+    Frame frame = std::move(queue_.front());
     queue_.pop_front();
-    return msg;
+    queued_bytes_ -= frame.payload.size();
+    return frame;
   }
 
   void close() {
@@ -83,11 +153,18 @@ class Pipe {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Bytes> queue_;
+  std::deque<Frame> queue_;
+  std::size_t queued_bytes_ = 0;
+  std::size_t max_bytes_;
   bool closed_ = false;
 };
 
 struct Link {
+  explicit Link(const ChannelOptions& options)
+      : a_to_b(options.max_queue_bytes),
+        b_to_a(options.max_queue_bytes),
+        latency(options.latency) {}
+
   Pipe a_to_b;
   Pipe b_to_a;
   LatencyModel latency;
@@ -97,6 +174,17 @@ struct Link {
 
 /// One side of a duplex channel. Thread-safe against its peer; a single
 /// endpoint must only be used from one thread.
+///
+/// send() stamps every payload with a FrameHeader (stage, per-direction
+/// sequence number, session id, checksum); recv() validates the peer's
+/// header against this endpoint's own state and throws ProtocolError with a
+/// diagnostic naming expected vs. received on any mismatch. Both parties
+/// must therefore advance set_stage()/set_session_id() symmetrically.
+///
+/// The frame path runs through two protected virtual hooks — deliver() on
+/// the way out, fetch() on the way in — so decorators (FaultyEndpoint)
+/// inject faults BELOW the framing layer, where a real network corrupts
+/// traffic, and the validation above catches them.
 class Endpoint {
  public:
   Endpoint(std::shared_ptr<detail::Link> link, bool is_a)
@@ -104,46 +192,152 @@ class Endpoint {
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
+  /// Move transfers the link; the moved-from endpoint is inert (its
+  /// destructor does nothing and any send/recv throws ProtocolError).
   Endpoint(Endpoint&&) = default;
 
-  ~Endpoint() {
+  virtual ~Endpoint() {
     if (link_) close();
   }
 
-  /// Sends one framed message to the peer (never blocks: queues are
-  /// unbounded, matching a TCP connection with sufficient buffering).
-  void send(Bytes msg) {
+  /// Sends one framed message to the peer. Throws BackpressureError when the
+  /// peer's queue is over its byte cap and ProtocolError once the channel is
+  /// closed.
+  void send(Bytes payload) {
+    require_live();
+    const std::size_t payload_bytes = payload.size();
+    detail::Frame frame;
+    frame.header.stage = stage_;
+    frame.header.seq = send_seq_;
+    frame.header.session_id = session_id_;
+    frame.header.checksum = frame_checksum(frame.header, payload);
+    frame.payload = std::move(payload);
+    deliver(std::move(frame));
+    // Committed only on success: a send refused by backpressure (or a
+    // closed channel) consumes no sequence number, so the channel stays
+    // usable once the peer drains the queue.
+    ++send_seq_;
     stats_.messages += 1;
-    stats_.bytes += msg.size();
-    stats_.simulated_wire_us += link_->latency.cost_us(msg.size());
-    outgoing().push(std::move(msg));
+    stats_.bytes += payload_bytes;
+    stats_.overhead_bytes += kFrameHeaderBytes;
+    stats_.simulated_wire_us += link_->latency.cost_us(payload_bytes);
   }
 
-  /// Blocks until the peer's next message arrives. Throws ProtocolError if
-  /// the peer closed the channel.
-  Bytes recv() { return incoming().pop(); }
+  /// Blocks until the peer's next message arrives or \p deadline expires
+  /// (default: the deadline installed by set_recv_deadline, else forever).
+  /// Throws TimeoutError past the deadline, ProtocolError if the channel is
+  /// closed or the frame fails validation.
+  Bytes recv(const Deadline& deadline) {
+    require_live();
+    detail::Frame frame = fetch(deadline);
+    validate(frame);
+    ++recv_seq_;
+    return std::move(frame.payload);
+  }
 
-  /// Closes this party's outgoing direction; the peer's next recv() throws.
-  void close() { outgoing().close(); }
+  Bytes recv() { return recv(recv_deadline_); }
+
+  /// Closes the whole link (both directions). Messages already queued still
+  /// drain; after that every recv() throws ProtocolError, as does any send.
+  void close() {
+    require_live();
+    link_->a_to_b.close();
+    link_->b_to_a.close();
+  }
+
+  /// Advances the protocol stage stamped on outgoing frames AND expected on
+  /// incoming ones. Both parties call this at the same protocol points.
+  void set_stage(Stage stage) { stage_ = stage; }
+  Stage stage() const { return stage_; }
+
+  /// Adopts a session id after the handshake agreed on one (both sides).
+  void set_session_id(std::uint64_t id) { session_id_ = id; }
+  std::uint64_t session_id() const { return session_id_; }
+
+  /// Default deadline applied by recv() without an explicit one.
+  void set_recv_deadline(Deadline deadline) { recv_deadline_ = deadline; }
 
   const TrafficStats& stats() const { return stats_; }
   void reset_stats() { stats_ = TrafficStats{}; }
 
- private:
+ protected:
+  /// Hands a stamped frame to the outgoing pipe. Decorators override this to
+  /// drop/duplicate/corrupt/delay traffic below the framing layer.
+  virtual void deliver(detail::Frame&& frame) {
+    outgoing().push(std::move(frame));
+  }
+
+  /// Takes the next frame off the incoming pipe (validation happens in
+  /// recv() after this returns).
+  virtual detail::Frame fetch(const Deadline& deadline) {
+    return incoming().pop(deadline);
+  }
+
   detail::Pipe& outgoing() { return is_a_ ? link_->a_to_b : link_->b_to_a; }
   detail::Pipe& incoming() { return is_a_ ? link_->b_to_a : link_->a_to_b; }
+
+  void require_live() const {
+    if (!link_) {
+      throw ProtocolError("use of moved-from endpoint");
+    }
+  }
+
+ private:
+  void validate(const detail::Frame& frame) const {
+    const FrameHeader& h = frame.header;
+    if (h.version != kFrameVersion) {
+      throw ProtocolError("frame version mismatch (expected " +
+                          std::to_string(kFrameVersion) + ", got " +
+                          std::to_string(h.version) + ")");
+    }
+    if (h.checksum != frame_checksum(h, frame.payload)) {
+      throw ProtocolError("frame checksum mismatch (seq " +
+                          std::to_string(h.seq) + ", stage " +
+                          stage_name(h.stage) + "): corrupted or truncated");
+    }
+    if (h.session_id != session_id_) {
+      throw ProtocolError("cross-session message (expected session " +
+                          std::to_string(session_id_) + ", got " +
+                          std::to_string(h.session_id) + ")");
+    }
+    if (h.seq != recv_seq_) {
+      throw ProtocolError(
+          h.seq < recv_seq_
+              ? "replayed message (expected seq " + std::to_string(recv_seq_) +
+                    ", got " + std::to_string(h.seq) + ")"
+              : "out-of-order or dropped message (expected seq " +
+                    std::to_string(recv_seq_) + ", got " +
+                    std::to_string(h.seq) + ")");
+    }
+    if (h.stage != stage_) {
+      throw ProtocolError("protocol stage mismatch (expected " +
+                          std::string(stage_name(stage_)) + ", got " +
+                          stage_name(h.stage) + ")");
+    }
+  }
 
   std::shared_ptr<detail::Link> link_;
   bool is_a_;
   TrafficStats stats_;
+  Stage stage_ = Stage::kNone;
+  std::uint64_t session_id_ = 0;
+  std::uint32_t send_seq_ = 0;
+  std::uint32_t recv_seq_ = 0;
+  Deadline recv_deadline_;
 };
 
 /// Creates a connected endpoint pair (first = party A / sender side by
 /// convention, second = party B).
-inline std::pair<Endpoint, Endpoint> make_channel(LatencyModel latency = {}) {
-  auto link = std::make_shared<detail::Link>();
-  link->latency = latency;
+inline std::pair<Endpoint, Endpoint> make_channel(
+    const ChannelOptions& options) {
+  auto link = std::make_shared<detail::Link>(options);
   return {Endpoint(link, true), Endpoint(link, false)};
+}
+
+inline std::pair<Endpoint, Endpoint> make_channel(LatencyModel latency = {}) {
+  ChannelOptions options;
+  options.latency = latency;
+  return make_channel(options);
 }
 
 }  // namespace ppds::net

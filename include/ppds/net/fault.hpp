@@ -1,0 +1,107 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "ppds/common/rng.hpp"
+#include "ppds/net/channel.hpp"
+
+/// \file fault.hpp
+/// Deterministic fault injection for the simulated transport.
+///
+/// FaultyEndpoint decorates an Endpoint and perturbs its OUTGOING frames
+/// (wrap both ends of a channel to fault both directions): drop, duplicate,
+/// reorder, bit-flip, truncate, delay, and mid-protocol disconnect, each
+/// with an independent probability. Every decision is drawn from a
+/// SplitMix64 counter stream over the injector's seed, so a failing chaos
+/// run reproduces EXACTLY from (FaultSpec, seed) — print the seed, rerun
+/// the seed, and the same frame breaks in the same way.
+///
+/// Faults act BELOW the framing layer (the frame is already stamped and
+/// checksummed), which is where a real network corrupts traffic; the peer's
+/// frame validation then surfaces each fault as a typed ProtocolError:
+/// bit-flips and truncations as checksum mismatches, drops as sequence gaps
+/// or TimeoutError, duplicates as replays, reorders as out-of-order frames,
+/// disconnects as closed-channel errors.
+
+namespace ppds::net {
+
+/// Per-direction fault probabilities (each in [0, 1], rolled per frame).
+struct FaultSpec {
+  double drop = 0.0;        ///< frame never delivered
+  double duplicate = 0.0;   ///< frame delivered twice (same seq: a replay)
+  double reorder = 0.0;     ///< frame held back behind its successor
+  double bit_flip = 0.0;    ///< one payload bit inverted
+  double truncate = 0.0;    ///< payload cut at a random length
+  double delay = 0.0;       ///< delivery stalled by delay_ms (really slept)
+  double disconnect = 0.0;  ///< link torn down mid-protocol
+  std::chrono::milliseconds delay_ms{1};
+
+  bool any() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 || bit_flip > 0.0 ||
+           truncate > 0.0 || delay > 0.0 || disconnect > 0.0;
+  }
+};
+
+/// Endpoint decorator that injects faults into the frames this party sends.
+/// Construct by moving the clean endpoint in; use it exactly like the
+/// original (the protocol code never knows).
+class FaultyEndpoint final : public Endpoint {
+ public:
+  FaultyEndpoint(Endpoint&& clean, const FaultSpec& spec, std::uint64_t seed)
+      : Endpoint(std::move(clean)), spec_(spec), seed_(seed) {}
+
+ protected:
+  void deliver(detail::Frame&& frame) override {
+    if (roll(spec_.disconnect)) {
+      close();  // the frame is lost with the link
+      return;
+    }
+    if (roll(spec_.drop)) {
+      return;
+    }
+    if (roll(spec_.delay)) {
+      std::this_thread::sleep_for(spec_.delay_ms);
+    }
+    if (roll(spec_.bit_flip) && !frame.payload.empty()) {
+      const std::uint64_t bit = draw() % (frame.payload.size() * 8);
+      frame.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    if (roll(spec_.truncate) && !frame.payload.empty()) {
+      frame.payload.resize(draw() % frame.payload.size());
+    }
+    const bool dup = roll(spec_.duplicate);
+    if (!held_.has_value() && roll(spec_.reorder)) {
+      held_ = std::move(frame);  // delivered behind the NEXT frame
+      return;
+    }
+    Endpoint::deliver(detail::Frame(frame));
+    if (dup) {
+      Endpoint::deliver(detail::Frame(frame));
+    }
+    if (held_.has_value()) {
+      Endpoint::deliver(std::move(*held_));
+      held_.reset();
+    }
+  }
+
+ private:
+  std::uint64_t draw() { return splitmix64(seed_, n_++); }
+
+  bool roll(double probability) {
+    if (probability <= 0.0) return false;
+    const double u =
+        static_cast<double>(draw() >> 11) * 0x1.0p-53;  // [0, 1)
+    return u < probability;
+  }
+
+  FaultSpec spec_;
+  std::uint64_t seed_;
+  std::uint64_t n_ = 0;
+  std::optional<detail::Frame> held_;
+};
+
+}  // namespace ppds::net

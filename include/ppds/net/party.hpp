@@ -9,8 +9,8 @@
 
 /// \file party.hpp
 /// Helper to run a two-party protocol: each party body runs on its own
-/// thread over a fresh channel pair; exceptions from either side are
-/// re-thrown to the caller (first the A side, then the B side).
+/// thread over a channel pair; exceptions from either side are re-thrown to
+/// the caller (first the A side, then the B side).
 
 namespace ppds::net {
 
@@ -23,25 +23,29 @@ struct TwoPartyOutcome {
   TrafficStats b_sent;
 };
 
-/// Runs \p party_a and \p party_b concurrently over a connected channel.
-/// Both callables take an Endpoint&. Blocks until both finish.
+/// Runs \p party_a and \p party_b concurrently over the GIVEN endpoints
+/// (already connected; possibly decorated, e.g. FaultyEndpoint). Blocks
+/// until both finish. A throwing party closes the channel so its peer
+/// unblocks with ProtocolError instead of hanging.
 template <typename FnA, typename FnB>
-auto run_two_party(FnA&& party_a, FnB&& party_b, LatencyModel latency = {})
+auto run_two_party_on(Endpoint& end_a, Endpoint& end_b, FnA&& party_a,
+                      FnB&& party_b)
     -> TwoPartyOutcome<std::invoke_result_t<FnA, Endpoint&>,
                        std::invoke_result_t<FnB, Endpoint&>> {
   using ResultA = std::invoke_result_t<FnA, Endpoint&>;
   using ResultB = std::invoke_result_t<FnB, Endpoint&>;
 
-  auto [end_a, end_b] = make_channel(latency);
-
   ResultB result_b{};
   std::exception_ptr error_b;
-  std::thread thread_b([&, eb = &end_b] {
+  std::thread thread_b([&] {
     try {
-      result_b = party_b(*eb);
+      result_b = party_b(end_b);
     } catch (...) {
       error_b = std::current_exception();
-      eb->close();  // unblock the peer
+      try {
+        end_b.close();  // unblock the peer
+      } catch (...) {   // already closed (e.g. by a disconnect fault)
+      }
     }
   });
 
@@ -51,7 +55,10 @@ auto run_two_party(FnA&& party_a, FnB&& party_b, LatencyModel latency = {})
     result_a = party_a(end_a);
   } catch (...) {
     error_a = std::current_exception();
-    end_a.close();
+    try {
+      end_a.close();
+    } catch (...) {
+    }
   }
 
   thread_b.join();
@@ -60,6 +67,17 @@ auto run_two_party(FnA&& party_a, FnB&& party_b, LatencyModel latency = {})
 
   return {std::move(result_a), std::move(result_b), end_a.stats(),
           end_b.stats()};
+}
+
+/// Runs \p party_a and \p party_b concurrently over a fresh channel.
+/// Both callables take an Endpoint&. Blocks until both finish.
+template <typename FnA, typename FnB>
+auto run_two_party(FnA&& party_a, FnB&& party_b, LatencyModel latency = {})
+    -> TwoPartyOutcome<std::invoke_result_t<FnA, Endpoint&>,
+                       std::invoke_result_t<FnB, Endpoint&>> {
+  auto [end_a, end_b] = make_channel(latency);
+  return run_two_party_on(end_a, end_b, std::forward<FnA>(party_a),
+                          std::forward<FnB>(party_b));
 }
 
 }  // namespace ppds::net

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "ppds/common/ct.hpp"
 #include "ppds/math/taylor.hpp"
+#include "ppds/net/framing.hpp"
 
 namespace ppds::core {
 
@@ -241,29 +243,38 @@ void ClassificationServer::serve(net::Endpoint& channel, std::size_t count,
   OtBundle ot(config_, rng);
   // Precomputed engine: run the whole batch's offline OT phase up front
   // (the client's matching batch call does the same).
-  ot.prepare_sender(
-      channel,
-      count * ot_slots_per_query(config_.ompe, profile_.declared_degree));
-  for (std::size_t i = 0; i < count; ++i) {
-    // Fresh positive amplifier per query — the Level-2 defense of Fig. 5/6.
-    // The range is deliberately wide (2^-8 .. 2^8): multiplicative positive
-    // noise has a positive mean, so a colluding least-squares fit converges
-    // to the true DIRECTION at a rate set by the noise spread — a heavier
-    // tail buys more collusion resistance (quantified in fig5 and
-    // EXPERIMENTS.md; an observation the paper does not make).
-    const double ra = rng.log_uniform_positive(-8.0, 8.0);
-    if (linear_in_tau_) {
-      std::vector<double> amplified = tau_coeffs_;
-      for (double& c : amplified) c *= ra;
-      ompe::run_sender_linear(channel, amplified, ra * tau_constant_,
-                              config_.ompe, ot.sender(), rng,
-                              profile_.declared_degree);
-    } else {
-      math::MultiPoly amplified = poly_;
-      amplified.scale(ra);
-      ompe::run_sender(channel, amplified, config_.ompe, ot.sender(), rng,
-                       profile_.declared_degree);
+  channel.set_stage(net::Stage::kOtSetup);
+  try {
+    ot.prepare_sender(
+        channel,
+        count * ot_slots_per_query(config_.ompe, profile_.declared_degree));
+    for (std::size_t i = 0; i < count; ++i) {
+      // Fresh positive amplifier per query — the Level-2 defense of Fig. 5/6.
+      // The range is deliberately wide (2^-8 .. 2^8): multiplicative positive
+      // noise has a positive mean, so a colluding least-squares fit converges
+      // to the true DIRECTION at a rate set by the noise spread — a heavier
+      // tail buys more collusion resistance (quantified in fig5 and
+      // EXPERIMENTS.md; an observation the paper does not make).
+      const double ra = rng.log_uniform_positive(-8.0, 8.0);
+      if (linear_in_tau_) {
+        std::vector<double> amplified = tau_coeffs_;
+        const ScopedWipe guard(amplified);  // ra-amplified model is secret
+        for (double& c : amplified) c *= ra;
+        ompe::run_sender_linear(channel, amplified, ra * tau_constant_,
+                                config_.ompe, ot.sender(), rng,
+                                profile_.declared_degree);
+      } else {
+        math::MultiPoly amplified = poly_;
+        amplified.scale(ra);
+        ompe::run_sender(channel, amplified, config_.ompe, ot.sender(), rng,
+                         profile_.declared_degree);
+      }
     }
+  } catch (...) {
+    // Fail closed: a half-consumed precomputed-OT batch must never be
+    // resumed (the two sides may disagree on how much was consumed).
+    ot.abort();
+    throw;
   }
 }
 
@@ -287,18 +298,25 @@ std::vector<double> ClassificationClient::query_values_batch(
     net::Endpoint& channel, const std::vector<std::vector<double>>& samples,
     Rng& rng) const {
   OtBundle ot(config_, rng);
-  ot.prepare_receiver(
-      channel, samples.size() *
-                   ot_slots_per_query(config_.ompe, profile_.declared_degree));
-  std::vector<double> out;
-  out.reserve(samples.size());
-  for (const auto& sample : samples) {
-    const std::vector<double> tau = profile_.transform(sample);
-    out.push_back(ompe::run_receiver(channel, tau, profile_.declared_degree,
-                                     profile_.poly_arity, config_.ompe,
-                                     ot.receiver(), rng));
+  channel.set_stage(net::Stage::kOtSetup);
+  try {
+    ot.prepare_receiver(
+        channel,
+        samples.size() *
+            ot_slots_per_query(config_.ompe, profile_.declared_degree));
+    std::vector<double> out;
+    out.reserve(samples.size());
+    for (const auto& sample : samples) {
+      const std::vector<double> tau = profile_.transform(sample);
+      out.push_back(ompe::run_receiver(channel, tau, profile_.declared_degree,
+                                       profile_.poly_arity, config_.ompe,
+                                       ot.receiver(), rng));
+    }
+    return out;
+  } catch (...) {
+    ot.abort();
+    throw;
   }
-  return out;
 }
 
 std::vector<int> ClassificationClient::classify_batch(

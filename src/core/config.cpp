@@ -43,6 +43,11 @@ void OtBundle::prepare_receiver(net::Endpoint& channel, std::size_t slots) {
   if (batched_receiver_ != nullptr) batched_receiver_->reserve(channel, slots);
 }
 
+void OtBundle::abort() noexcept {
+  if (batched_sender_ != nullptr) batched_sender_->abort();
+  if (batched_receiver_ != nullptr) batched_receiver_->abort();
+}
+
 crypto::OtSender& OtBundle::sender() {
   detail::require(sender_ != nullptr, "OtBundle: no sender engine");
   return *sender_;

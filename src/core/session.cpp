@@ -2,12 +2,16 @@
 
 #include "ppds/common/hex.hpp"
 #include "ppds/crypto/sha256.hpp"
+#include "ppds/net/framing.hpp"
 
 namespace ppds::core {
 
 namespace {
 
-constexpr std::uint32_t kProtocolVersion = 1;
+// Version 2: the hello carries a client-proposed u64 session id; both
+// endpoints adopt it after a successful handshake, so every later frame is
+// pinned to this session (net/framing.hpp).
+constexpr std::uint32_t kProtocolVersion = 2;
 constexpr std::uint8_t kMagic[4] = {'P', 'P', 'D', 'S'};
 
 }  // namespace
@@ -45,6 +49,7 @@ void serve_session(const ClassificationServer& server,
                    Rng& rng, std::size_t max_queries) {
   const crypto::Digest mine = protocol_digest(profile, config);
 
+  channel.set_stage(net::Stage::kHandshake);
   const Bytes hello = channel.recv();
   ByteReader r(hello);
   const Bytes magic = r.raw(4);
@@ -53,6 +58,7 @@ void serve_session(const ClassificationServer& server,
   }
   const std::uint32_t version = r.u32();
   const Bytes theirs = r.raw(mine.size());
+  const std::uint64_t session_id = r.u64();
   const std::uint64_t count = r.u64();
   r.expect_end();
 
@@ -72,6 +78,8 @@ void serve_session(const ClassificationServer& server,
         : !digests_match            ? "session: parameter digest mismatch"
                                     : "session: unacceptable query count");
   }
+  // Every post-handshake frame is pinned to the negotiated session id.
+  channel.set_session_id(session_id);
   server.serve(channel, count, rng);
 }
 
@@ -82,10 +90,13 @@ std::vector<int> classify_session(
   detail::require(!samples.empty(), "session: no samples");
   const crypto::Digest mine = protocol_digest(profile, config);
 
+  channel.set_stage(net::Stage::kHandshake);
+  const std::uint64_t session_id = rng();
   ByteWriter hello;
   hello.raw(std::span<const std::uint8_t>(kMagic, 4));
   hello.u32(kProtocolVersion);
   hello.raw(std::span<const std::uint8_t>(mine.data(), mine.size()));
+  hello.u64(session_id);
   hello.u64(samples.size());
   channel.send(hello.take());
 
@@ -99,14 +110,17 @@ std::vector<int> classify_session(
                         to_hex(server_digest).substr(0, 16) + "... vs ours " +
                         to_hex(mine).substr(0, 16) + "...)");
   }
+  channel.set_session_id(session_id);
   return client.classify_batch(channel, samples, rng);
 }
 
 namespace {
 
 /// Shared hello/ack exchange on a precomputed digest. Returns normally only
-/// when both sides agreed.
+/// when both sides agreed; on success both endpoints have adopted the
+/// client-proposed session id.
 void handshake_server(net::Endpoint& channel, const crypto::Digest& mine) {
+  channel.set_stage(net::Stage::kHandshake);
   const Bytes hello = channel.recv();
   ByteReader r(hello);
   const Bytes magic = r.raw(4);
@@ -115,6 +129,7 @@ void handshake_server(net::Endpoint& channel, const crypto::Digest& mine) {
   }
   const std::uint32_t version = r.u32();
   const Bytes theirs = r.raw(mine.size());
+  const std::uint64_t session_id = r.u64();
   r.expect_end();
   const bool acceptable =
       version == kProtocolVersion &&
@@ -128,13 +143,18 @@ void handshake_server(net::Endpoint& channel, const crypto::Digest& mine) {
                             ? "session: protocol version mismatch"
                             : "session: parameter digest mismatch");
   }
+  channel.set_session_id(session_id);
 }
 
-void handshake_client(net::Endpoint& channel, const crypto::Digest& mine) {
+void handshake_client(net::Endpoint& channel, const crypto::Digest& mine,
+                      Rng& rng) {
+  channel.set_stage(net::Stage::kHandshake);
+  const std::uint64_t session_id = rng();
   ByteWriter hello;
   hello.raw(std::span<const std::uint8_t>(kMagic, 4));
   hello.u32(kProtocolVersion);
   hello.raw(std::span<const std::uint8_t>(mine.data(), mine.size()));
+  hello.u64(session_id);
   channel.send(hello.take());
   const Bytes ack = channel.recv();
   ByteReader r(ack);
@@ -146,6 +166,7 @@ void handshake_client(net::Endpoint& channel, const crypto::Digest& mine) {
                         to_hex(server_digest).substr(0, 16) + "... vs ours " +
                         to_hex(mine).substr(0, 16) + "...)");
   }
+  channel.set_session_id(session_id);
 }
 
 }  // namespace
@@ -184,7 +205,7 @@ double evaluate_similarity_session(const SimilarityClient& client,
                                    const DataSpace& space,
                                    const SchemeConfig& config,
                                    net::Endpoint& channel, Rng& rng) {
-  handshake_client(channel, similarity_digest(kernel, space, config));
+  handshake_client(channel, similarity_digest(kernel, space, config), rng);
   return client.evaluate(channel, rng);
 }
 

@@ -1,7 +1,10 @@
 #include "ppds/core/session_pool.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
+#include <optional>
+#include <thread>
 #include <utility>
 
 #include "ppds/net/party.hpp"
@@ -13,6 +16,93 @@ std::uint64_t chunk_seed(std::uint64_t seed, std::uint64_t stream) {
   // (seed, stream) pairs land in decorrelated RNG streams.
   return splitmix64(seed, stream);
 }
+
+namespace {
+
+/// Per-attempt RNG seed: attempt 0 uses the base chunk seed EXACTLY (so a
+/// fault-free run is bit-identical to the pre-retry-layer behavior, which
+/// the determinism tests pin); later attempts derive fresh decorrelated
+/// streams — a retried session re-randomizes everything.
+std::uint64_t attempt_seed(std::uint64_t base, std::size_t attempt) {
+  return attempt == 0 ? base : splitmix64(base, attempt);
+}
+
+/// Exponential backoff with deterministic jitter for attempt n >= 1.
+std::chrono::milliseconds backoff_delay(const RetryPolicy& retry,
+                                        std::size_t attempt,
+                                        std::uint64_t jitter_stream) {
+  if (retry.backoff.count() <= 0) return std::chrono::milliseconds{0};
+  double ms = static_cast<double>(retry.backoff.count()) *
+              std::pow(retry.backoff_multiplier,
+                       static_cast<double>(attempt) - 1.0);
+  if (retry.jitter > 0.0) {
+    const double u =
+        static_cast<double>(splitmix64(jitter_stream, attempt) >> 11) *
+        0x1.0p-53;  // [0, 1)
+    ms *= 1.0 + retry.jitter * (2.0 * u - 1.0);
+  }
+  return std::chrono::milliseconds{
+      static_cast<std::chrono::milliseconds::rep>(std::fmax(0.0, ms))};
+}
+
+/// Runs \p body(attempt) under the retry policy: ProtocolError (timeouts,
+/// fault-corrupted frames, closed channels, backpressure) triggers a
+/// backed-off re-run with the next attempt index; anything else — and the
+/// final attempt's error — propagates. InvalidArgument is deliberately NOT
+/// retried: bad inputs fail identically every time.
+template <typename Body>
+auto run_with_retry(const RetryPolicy& retry, std::uint64_t jitter_stream,
+                    const Body& body) -> decltype(body(std::size_t{0})) {
+  const std::size_t attempts = std::max<std::size_t>(1, retry.max_attempts);
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return body(attempt);
+    } catch (const ProtocolError&) {
+      if (attempt + 1 >= attempts) throw;
+      const auto delay = backoff_delay(retry, attempt + 1, jitter_stream);
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    }
+  }
+}
+
+/// One session attempt's transport: a bounded channel pair with deadlines
+/// installed and (optionally) fault-injecting decorators. The clean
+/// endpoints live here so the decorators' moved-from sources stay alive.
+struct AttemptTransport {
+  std::optional<net::Endpoint> end_a;
+  std::optional<net::Endpoint> end_b;
+  std::optional<net::FaultyEndpoint> faulty_a;
+  std::optional<net::FaultyEndpoint> faulty_b;
+  net::Endpoint* a = nullptr;
+  net::Endpoint* b = nullptr;
+
+  AttemptTransport(const TransportOptions& transport,
+                   std::uint64_t fault_stream, std::size_t attempt) {
+    auto [clean_a, clean_b] = net::make_channel(transport.channel);
+    end_a.emplace(std::move(clean_a));
+    end_b.emplace(std::move(clean_b));
+    if (transport.recv_timeout.count() > 0) {
+      const net::Deadline deadline =
+          net::Deadline::after(transport.recv_timeout);
+      end_a->set_recv_deadline(deadline);
+      end_b->set_recv_deadline(deadline);
+    }
+    a = &*end_a;
+    b = &*end_b;
+    if (transport.fault_a.any()) {
+      faulty_a.emplace(std::move(*end_a), transport.fault_a,
+                       splitmix64(fault_stream, 2 * attempt));
+      a = &*faulty_a;
+    }
+    if (transport.fault_b.any()) {
+      faulty_b.emplace(std::move(*end_b), transport.fault_b,
+                       splitmix64(fault_stream, 2 * attempt + 1));
+      b = &*faulty_b;
+    }
+  }
+};
+
+}  // namespace
 
 SessionPool::SessionPool(const ClassificationServer& server,
                          const ClassificationClient& client,
@@ -27,34 +117,50 @@ SessionPool::SessionPool(const ClassificationServer& server,
 std::vector<int> SessionPool::classify_batch(
     const std::vector<std::vector<double>>& samples, std::uint64_t seed,
     std::size_t chunk_size) {
+  return classify_batch(samples, seed, chunk_size, TransportOptions{});
+}
+
+std::vector<int> SessionPool::classify_batch(
+    const std::vector<std::vector<double>>& samples, std::uint64_t seed,
+    std::size_t chunk_size, const TransportOptions& transport) {
   detail::require(!samples.empty(), "SessionPool: no samples");
   detail::require(chunk_size >= 1, "SessionPool: chunk_size must be >= 1");
   const std::size_t chunks = (samples.size() + chunk_size - 1) / chunk_size;
 
-  // Each task is a complete two-party session; run_two_party supplies the
-  // second thread, so even a single-worker pool cannot deadlock.
+  // Each task is a complete two-party session; run_two_party_on supplies
+  // the second thread, so even a single-worker pool cannot deadlock.
   std::vector<std::future<std::vector<int>>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
-    futures.push_back(pool_.submit([this, &samples, seed, chunk_size, c] {
-      const std::size_t begin = c * chunk_size;
-      const std::size_t end = std::min(begin + chunk_size, samples.size());
-      const std::vector<std::vector<double>> chunk(
-          samples.begin() + static_cast<std::ptrdiff_t>(begin),
-          samples.begin() + static_cast<std::ptrdiff_t>(end));
-      auto outcome = net::run_two_party(
-          [&](net::Endpoint& channel) {
-            Rng rng(chunk_seed(seed, 2 * c));
-            serve_session(*server_, profile_, config_, channel, rng);
-            return 0;
-          },
-          [&](net::Endpoint& channel) {
-            Rng rng(chunk_seed(seed, 2 * c + 1));
-            return classify_session(*client_, profile_, config_, channel,
-                                    chunk, rng);
-          });
-      return std::move(outcome.b);
-    }));
+    futures.push_back(
+        pool_.submit([this, &samples, seed, chunk_size, c, &transport] {
+          const std::size_t begin = c * chunk_size;
+          const std::size_t end = std::min(begin + chunk_size, samples.size());
+          const std::vector<std::vector<double>> chunk(
+              samples.begin() + static_cast<std::ptrdiff_t>(begin),
+              samples.begin() + static_cast<std::ptrdiff_t>(end));
+          const std::uint64_t fault_stream =
+              splitmix64(transport.fault_seed, c);
+          return run_with_retry(
+              transport.retry, chunk_seed(seed, 2 * c),
+              [&](std::size_t attempt) {
+                AttemptTransport wires(transport, fault_stream, attempt);
+                auto outcome = net::run_two_party_on(
+                    *wires.a, *wires.b,
+                    [&](net::Endpoint& channel) {
+                      Rng rng(attempt_seed(chunk_seed(seed, 2 * c), attempt));
+                      serve_session(*server_, profile_, config_, channel, rng);
+                      return 0;
+                    },
+                    [&](net::Endpoint& channel) {
+                      Rng rng(
+                          attempt_seed(chunk_seed(seed, 2 * c + 1), attempt));
+                      return classify_session(*client_, profile_, config_,
+                                              channel, chunk, rng);
+                    });
+                return std::move(outcome.b);
+              });
+        }));
   }
 
   std::vector<int> labels;
@@ -79,24 +185,35 @@ SimilaritySessionPool::SimilaritySessionPool(
 
 std::vector<double> SimilaritySessionPool::evaluate_batch(std::size_t count,
                                                           std::uint64_t seed) {
+  return evaluate_batch(count, seed, TransportOptions{});
+}
+
+std::vector<double> SimilaritySessionPool::evaluate_batch(
+    std::size_t count, std::uint64_t seed, const TransportOptions& transport) {
   detail::require(count >= 1, "SimilaritySessionPool: count must be >= 1");
   std::vector<std::future<double>> futures;
   futures.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(pool_.submit([this, seed, i] {
-      auto outcome = net::run_two_party(
-          [&](net::Endpoint& channel) {
-            Rng rng(chunk_seed(seed, 2 * i));
-            serve_similarity_session(*server_, kernel_, space_, config_,
-                                     channel, rng);
-            return 0;
-          },
-          [&](net::Endpoint& channel) {
-            Rng rng(chunk_seed(seed, 2 * i + 1));
-            return evaluate_similarity_session(*client_, kernel_, space_,
-                                               config_, channel, rng);
+    futures.push_back(pool_.submit([this, seed, i, &transport] {
+      const std::uint64_t fault_stream = splitmix64(transport.fault_seed, i);
+      return run_with_retry(
+          transport.retry, chunk_seed(seed, 2 * i), [&](std::size_t attempt) {
+            AttemptTransport wires(transport, fault_stream, attempt);
+            auto outcome = net::run_two_party_on(
+                *wires.a, *wires.b,
+                [&](net::Endpoint& channel) {
+                  Rng rng(attempt_seed(chunk_seed(seed, 2 * i), attempt));
+                  serve_similarity_session(*server_, kernel_, space_, config_,
+                                           channel, rng);
+                  return 0;
+                },
+                [&](net::Endpoint& channel) {
+                  Rng rng(attempt_seed(chunk_seed(seed, 2 * i + 1), attempt));
+                  return evaluate_similarity_session(*client_, kernel_, space_,
+                                                     config_, channel, rng);
+                });
+            return outcome.b;
           });
-      return outcome.b;
     }));
   }
   std::vector<double> values;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ppds/math/rootfind.hpp"
+#include "ppds/net/framing.hpp"
 
 namespace ppds::core {
 
@@ -219,54 +220,62 @@ void SimilarityServer::serve(net::Endpoint& channel, Rng& rng) const {
   // One evaluation = two stage-1 OMPE rounds + the degree-4 stage-2 round.
   const unsigned stage1_degree =
       kernelized_ ? kernel_.degree : 1;
-  ot.prepare_sender(channel,
-                    2 * ot_slots_per_query(config_.ompe, stage1_degree) +
-                        ot_slots_per_query(config_.ompe, 4));
+  channel.set_stage(net::Stage::kOtSetup);
+  try {
+    ot.prepare_sender(channel,
+                      2 * ot_slots_per_query(config_.ompe, stage1_degree) +
+                          ot_slots_per_query(config_.ompe, 4));
 
-  // Step 0: Bob's vector moduli.
-  const Bytes norms = channel.recv();
-  ByteReader r(norms);
-  const double m_norm2_b = r.f64();
-  const double w_norm2_b = r.f64();
-  r.expect_end();
-  detail::require(w_norm2_b > 0.0, "similarity: degenerate peer weights");
+    // Step 0: Bob's vector moduli.
+    channel.set_stage(net::Stage::kNorms);
+    const Bytes norms = channel.recv();
+    ByteReader r(norms);
+    const double m_norm2_b = r.f64();
+    const double w_norm2_b = r.f64();
+    r.expect_end();
+    detail::require(w_norm2_b > 0.0, "similarity: degenerate peer weights");
 
-  const double ram = rng.log_uniform_positive(-2.0, 2.0);
-  const double raw = rng.log_uniform_positive(-2.0, 2.0);
-  const double rb = rng.uniform_nonzero(-4.0, 4.0, 0.25);
+    const double ram = rng.log_uniform_positive(-2.0, 2.0);
+    const double raw = rng.log_uniform_positive(-2.0, 2.0);
+    const double rb = rng.uniform_nonzero(-4.0, 4.0, 0.25);
 
-  // Stage 1a: x1 = ram * (mA . mB)   (kernelized: ram * K(mA, mB)).
-  // Stage 1b: x2 = raw * (wA . wB) + rb.
-  if (kernelized_) {
-    ompe::run_sender(channel, kernel_stage1_poly(centroid_, kernel_, ram, 0.0),
+    // Stage 1a: x1 = ram * (mA . mB)   (kernelized: ram * K(mA, mB)).
+    // Stage 1b: x2 = raw * (wA . wB) + rb.
+    if (kernelized_) {
+      ompe::run_sender(channel,
+                       kernel_stage1_poly(centroid_, kernel_, ram, 0.0),
+                       config_.ompe, ot.sender(), rng);
+      ompe::run_sender(channel, kernel_stage1_poly(w_, kernel_, raw, rb),
+                       config_.ompe, ot.sender(), rng);
+    } else {
+      math::Vec ma = centroid_;
+      math::scale(ma, ram);
+      ompe::run_sender(channel, math::MultiPoly::affine(ma, 0.0), config_.ompe,
+                       ot.sender(), rng);
+      math::Vec wa = w_;
+      math::scale(wa, raw);
+      ompe::run_sender(channel, math::MultiPoly::affine(wa, rb), config_.ompe,
+                       ot.sender(), rng);
+    }
+
+    // Stage 2: Eq. (7) with Alice's private constants.
+    const double kmm_a = kernelized_ ? kernel_(centroid_, centroid_)
+                                     : math::norm2(centroid_);
+    const double kww_a = kernelized_ ? kernel_(w_, w_) : math::norm2(w_);
+    detail::require(kww_a > 0.0, "similarity: degenerate own weights");
+    const double c1 = kmm_a + m_norm2_b;
+    const double c2 = std::pow(space_.l0, 4.0);
+    const double c3 = 1.0 / (kww_a * w_norm2_b);
+    const double c4 = 1.0 + std::pow(std::sin(space_.theta0), 2.0);
+    const double d1 = 1.0 / ram;
+    const double d2 = 1.0 / raw;
+    const double d3 = -rb;
+    ompe::run_sender(channel, equation7_poly(c1, c2, c3, c4, d1, d2, d3),
                      config_.ompe, ot.sender(), rng);
-    ompe::run_sender(channel, kernel_stage1_poly(w_, kernel_, raw, rb),
-                     config_.ompe, ot.sender(), rng);
-  } else {
-    math::Vec ma = centroid_;
-    math::scale(ma, ram);
-    ompe::run_sender(channel, math::MultiPoly::affine(ma, 0.0), config_.ompe,
-                     ot.sender(), rng);
-    math::Vec wa = w_;
-    math::scale(wa, raw);
-    ompe::run_sender(channel, math::MultiPoly::affine(wa, rb), config_.ompe,
-                     ot.sender(), rng);
+  } catch (...) {
+    ot.abort();
+    throw;
   }
-
-  // Stage 2: Eq. (7) with Alice's private constants.
-  const double kmm_a = kernelized_ ? kernel_(centroid_, centroid_)
-                                   : math::norm2(centroid_);
-  const double kww_a = kernelized_ ? kernel_(w_, w_) : math::norm2(w_);
-  detail::require(kww_a > 0.0, "similarity: degenerate own weights");
-  const double c1 = kmm_a + m_norm2_b;
-  const double c2 = std::pow(space_.l0, 4.0);
-  const double c3 = 1.0 / (kww_a * w_norm2_b);
-  const double c4 = 1.0 + std::pow(std::sin(space_.theta0), 2.0);
-  const double d1 = 1.0 / ram;
-  const double d2 = 1.0 / raw;
-  const double d3 = -rb;
-  ompe::run_sender(channel, equation7_poly(c1, c2, c3, c4, d1, d2, d3),
-                   config_.ompe, ot.sender(), rng);
 }
 
 SimilarityClient::SimilarityClient(const svm::SvmModel& model, DataSpace space,
@@ -298,26 +307,33 @@ double SimilarityClient::evaluate(net::Endpoint& channel, Rng& rng) const {
   OtBundle ot(config_, rng);
   const unsigned prepare_degree =
       kernelized_ ? kernel_.degree : 1;
-  ot.prepare_receiver(channel,
-                      2 * ot_slots_per_query(config_.ompe, prepare_degree) +
-                          ot_slots_per_query(config_.ompe, 4));
+  channel.set_stage(net::Stage::kOtSetup);
+  try {
+    ot.prepare_receiver(channel,
+                        2 * ot_slots_per_query(config_.ompe, prepare_degree) +
+                            ot_slots_per_query(config_.ompe, 4));
 
-  ByteWriter w;
-  w.f64(m_norm2_);
-  w.f64(w_norm2_);
-  channel.send(w.take());
+    channel.set_stage(net::Stage::kNorms);
+    ByteWriter w;
+    w.f64(m_norm2_);
+    w.f64(w_norm2_);
+    channel.send(w.take());
 
-  const unsigned stage1_degree =
-      kernelized_ ? kernel_.degree : 1;
-  const std::size_t n = w_.size();
-  const double x1 = ompe::run_receiver(channel, centroid_, stage1_degree, n,
-                                       config_.ompe, ot.receiver(), rng);
-  const double x2 = ompe::run_receiver(channel, w_, stage1_degree, n,
-                                       config_.ompe, ot.receiver(), rng);
-  const math::Vec stage2_input{x1, x2};
-  const double t2 = ompe::run_receiver(channel, stage2_input, 4, 2,
-                                       config_.ompe, ot.receiver(), rng);
-  return std::sqrt(std::fmax(t2, 0.0));
+    const unsigned stage1_degree =
+        kernelized_ ? kernel_.degree : 1;
+    const std::size_t n = w_.size();
+    const double x1 = ompe::run_receiver(channel, centroid_, stage1_degree, n,
+                                         config_.ompe, ot.receiver(), rng);
+    const double x2 = ompe::run_receiver(channel, w_, stage1_degree, n,
+                                         config_.ompe, ot.receiver(), rng);
+    const math::Vec stage2_input{x1, x2};
+    const double t2 = ompe::run_receiver(channel, stage2_input, 4, 2,
+                                         config_.ompe, ot.receiver(), rng);
+    return std::sqrt(std::fmax(t2, 0.0));
+  } catch (...) {
+    ot.abort();
+    throw;
+  }
 }
 
 }  // namespace ppds::core

@@ -468,7 +468,29 @@ BatchedOtSender::~BatchedOtSender() {
   }
 }
 
+void BatchedOtSender::abort() noexcept {
+  for (PrecomputedSendSlot& slot : pool_) {
+    secure_wipe(std::span(slot.r0));
+    secure_wipe(std::span(slot.r1));
+  }
+  next_ = pool_.size();  // nothing left to consume
+  aborted_ = true;
+}
+
+bool BatchedOtSender::pool_wiped() const {
+  for (const PrecomputedSendSlot& slot : pool_) {
+    for (std::uint8_t b : slot.r0) {
+      if (b != 0) return false;
+    }
+    for (std::uint8_t b : slot.r1) {
+      if (b != 0) return false;
+    }
+  }
+  return true;
+}
+
 void BatchedOtSender::reserve(net::Endpoint& channel, std::size_t slots) {
+  if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
   if (remaining() >= slots) return;
   const std::size_t top_up = slots - remaining();
   // Compact the consumed prefix (its pads are spent key material).
@@ -485,6 +507,7 @@ void BatchedOtSender::reserve(net::Endpoint& channel, std::size_t slots) {
 
 void BatchedOtSender::send(net::Endpoint& channel,
                            std::span<const Bytes> messages, std::size_t k) {
+  if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
   check_equal_lengths(messages);
   detail::require(k >= 1 && k <= messages.size(), "ot: bad k");
   // Symmetric auto-refill: both parties derive the same need from the
@@ -517,7 +540,26 @@ BatchedOtReceiver::~BatchedOtReceiver() {
   }
 }
 
+void BatchedOtReceiver::abort() noexcept {
+  for (PrecomputedRecvSlot& slot : pool_) {
+    secure_wipe(std::span(slot.pad));
+    slot.choice = false;
+  }
+  next_ = pool_.size();
+  aborted_ = true;
+}
+
+bool BatchedOtReceiver::pool_wiped() const {
+  for (const PrecomputedRecvSlot& slot : pool_) {
+    for (std::uint8_t b : slot.pad) {
+      if (b != 0) return false;
+    }
+  }
+  return true;
+}
+
 void BatchedOtReceiver::reserve(net::Endpoint& channel, std::size_t slots) {
+  if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
   if (remaining() >= slots) return;
   const std::size_t top_up = slots - remaining();
   for (std::size_t i = 0; i < next_; ++i) {
@@ -533,6 +575,7 @@ void BatchedOtReceiver::reserve(net::Endpoint& channel, std::size_t slots) {
 std::vector<Bytes> BatchedOtReceiver::receive(
     net::Endpoint& channel, std::span<const std::size_t> indices,
     std::size_t n, std::size_t message_len) {
+  if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
   detail::require(!indices.empty() && indices.size() <= n, "ot: bad indices");
   const std::size_t needed = indices.size() * index_bits(n);
   if (remaining() < needed) {

@@ -14,6 +14,7 @@
 #include "ppds/field/encoding.hpp"
 #include "ppds/math/interpolate.hpp"
 #include "ppds/math/poly.hpp"
+#include "ppds/net/framing.hpp"
 
 namespace ppds::ompe {
 
@@ -351,6 +352,7 @@ void run_sender_impl(net::Endpoint& channel, std::size_t arity,
   const std::size_t m = params.m(p);
   const std::size_t big_m = params.big_m(p);
 
+  channel.set_stage(net::Stage::kOmpeRequest);
   const Bytes request = channel.recv();
   ByteReader r(request);
   const RequestHeader header = read_header(r);
@@ -367,6 +369,10 @@ void run_sender_impl(net::Endpoint& channel, std::size_t arity,
   r.expect_end();
 
   std::vector<Bytes> values(big_m);
+  // Only m of the M evaluations are transferred; the rest stay secret and
+  // must not linger in freed heap pages — including when the OT round (or a
+  // faulty channel) throws mid-transfer.
+  const ScopedWipeEach values_guard(values);
   {
     const StageTimer timer(stage_atomics().mask_eval_ns);
     count_points(stage_atomics().mask_eval_points, big_m);
@@ -432,11 +438,9 @@ void run_sender_impl(net::Endpoint& channel, std::size_t arity,
   {
     const StageTimer timer(stage_atomics().ot_ns);
     count_points(stage_atomics().ot_elements, big_m);
+    channel.set_stage(net::Stage::kOtTransfer);
     ot.send(channel, values, m);
   }
-  // Only m of the M evaluations were transferred; the rest stay secret and
-  // must not linger in freed heap pages.
-  for (Bytes& v : values) secure_wipe(std::span(v));
 }
 
 }  // namespace
@@ -474,6 +478,9 @@ void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
   const unsigned p = declared_degree == 0 ? actual : declared_degree;
 
   std::vector<M61> coeffs;
+  // The encoded coefficients mirror the caller's secret polynomial; wipe on
+  // every exit, including a mid-protocol throw.
+  const ScopedWipe coeffs_guard(coeffs);
   if (params.backend == Backend::kField) {
     coeffs = encode_term_coeffs(secret, p, params.frac_bits);
   }
@@ -500,7 +507,6 @@ void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
           return evaluate_field(secret, coeffs, z);
         });
   }
-  secure_wipe(std::span(coeffs));
 }
 
 void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
@@ -512,6 +518,8 @@ void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
   // Field encoding with scale harmonization: linear terms carry one input
   // scale, so their coefficients get 2^{f*p}; the constant gets 2^{f*(p+1)}.
   std::vector<M61> w_enc;
+  // The encoded model weights mirror the caller's secret model.
+  const ScopedWipe w_enc_guard(w_enc);
   M61 b_enc;
   if (params.backend == Backend::kField) {
     const double w_scale =
@@ -544,8 +552,6 @@ void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
         for (std::size_t i = 0; i < z.size(); ++i) acc = acc + w_enc[i] * z[i];
         return acc;
       });
-  // The encoded model weights mirror the caller's secret model.
-  secure_wipe(std::span(w_enc));
   secure_wipe_object(b_enc);
 }
 
@@ -590,6 +596,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
       // constant first) — the nonlinear scheme has hundreds of thousands of
       // variates, so per-cover Poly allocations would dominate.
       std::vector<double> covers((cq + 1) * arity);
+      const ScopedWipe covers_guard(covers);  // g_i(0) = alpha_i is secret
       for (std::size_t j = 0; j < arity; ++j) {
         covers[j * (cq + 1)] = alpha[j];
         for (std::size_t l = 1; l <= cq; ++l) {
@@ -631,33 +638,33 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
       for (std::size_t i = 0; i < big_m; ++i) {
         if (is_kept[i]) kept_nodes.push_back(nodes[i]);
       }
-      secure_wipe(std::span(covers));
     }
+    channel.set_stage(net::Stage::kOmpeRequest);
     channel.send(w.take());
 
+    // The transferred evaluations and interpolation scratch reveal which
+    // pairs were kept; wipe before the buffers return to the allocator —
+    // also on the exception path (a faulty OT round must not leak them).
     std::vector<Bytes> replies;
+    const ScopedWipeEach replies_guard(replies);
     {
       const StageTimer timer(stage_atomics().ot_ns);
       count_points(stage_atomics().ot_elements, m);
+      channel.set_stage(net::Stage::kOtTransfer);
       replies = ot.receive(channel, keep, big_m, 8);
     }
     const StageTimer timer(stage_atomics().interp_ns);
     count_points(stage_atomics().interp_points, m);
     std::vector<long double> xs(m), ys(m);
+    const ScopedWipe xs_guard(xs);
+    const ScopedWipe ys_guard(ys);
     for (std::size_t j = 0; j < m; ++j) {
       ByteReader vr(replies[j]);
       xs[j] = static_cast<long double>(kept_nodes[j]);
       ys[j] = static_cast<long double>(vr.f64());
       vr.expect_end();
     }
-    const double result =
-        static_cast<double>(math::lagrange_at_zero<long double>(xs, ys));
-    // The transferred evaluations and interpolation scratch reveal which
-    // pairs were kept; wipe before the buffers return to the allocator.
-    for (Bytes& rep : replies) secure_wipe(std::span(rep));
-    secure_wipe(std::span(xs));
-    secure_wipe(std::span(ys));
-    return result;
+    return static_cast<double>(math::lagrange_at_zero<long double>(xs, ys));
   }
 
   // Field backend.
@@ -671,6 +678,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
     // Covers as one flat coefficient array (see the real backend above);
     // coefficients are uniform field elements (information-theoretic).
     std::vector<M61> covers((cq + 1) * arity);
+    const ScopedWipe covers_guard(covers);
     for (std::size_t j = 0; j < arity; ++j) {
       covers[j * (cq + 1)] = field::encode(fp, alpha[j]);
       for (std::size_t l = 1; l <= cq; ++l) {
@@ -705,19 +713,23 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
     for (std::size_t i = 0; i < big_m; ++i) {
       if (is_kept[i]) kept_nodes.push_back(nodes[i]);
     }
-    secure_wipe(std::span(covers));
   }
+  channel.set_stage(net::Stage::kOmpeRequest);
   channel.send(w.take());
 
   std::vector<Bytes> replies;
+  const ScopedWipeEach replies_guard(replies);
   {
     const StageTimer timer(stage_atomics().ot_ns);
     count_points(stage_atomics().ot_elements, m);
+    channel.set_stage(net::Stage::kOtTransfer);
     replies = ot.receive(channel, keep, big_m, 8);
   }
   const StageTimer timer(stage_atomics().interp_ns);
   count_points(stage_atomics().interp_points, m);
   std::vector<M61> xs(m), ys(m);
+  const ScopedWipe xs_guard(xs);
+  const ScopedWipe ys_guard(ys);
   for (std::size_t j = 0; j < m; ++j) {
     ByteReader vr(replies[j]);
     xs[j] = kept_nodes[j];
@@ -725,9 +737,6 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
     vr.expect_end();
   }
   const M61 b0 = math::lagrange_at_zero<M61>(xs, ys);
-  for (Bytes& rep : replies) secure_wipe(std::span(rep));
-  secure_wipe(std::span(xs));
-  secure_wipe(std::span(ys));
   return field::decode(fp, b0, degree + 1);
 }
 

@@ -158,7 +158,9 @@ TEST(Bytes, WriterAppendRawServesInPlaceSerialization) {
   w.u64(7);
   const std::span<std::uint8_t> body = w.append_raw(16);
   ASSERT_EQ(body.size(), 16u);
-  for (std::uint8_t b : body) EXPECT_EQ(b, 0);  // zero-initialized
+  // The view is UNINITIALIZED (default_init_allocator skips the zero-fill
+  // that used to cost a full pass over multi-MB requests); the contract is
+  // that the caller writes every byte before the buffer is used.
   store_le64(body.data(), 0xaabbccddULL);
   store_le_f64(body.subspan(8).data(), 2.5);
   const Bytes buf = w.take();

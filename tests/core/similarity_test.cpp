@@ -237,6 +237,10 @@ TEST(PrivateSimilarity, ServerLearnsOnlyModuli) {
   SimilarityClient client(b, space, cfg);
   auto outcome = net::run_two_party(
       [&](net::Endpoint& ch) {
+        // Mirror the client's stage walk: loopback OT setup exchanges no
+        // messages, so its first frame is the norms message.
+        ch.set_stage(net::Stage::kOtSetup);
+        ch.set_stage(net::Stage::kNorms);
         const Bytes first = ch.recv();
         ch.close();
         return first;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "ppds/net/party.hpp"
 
 namespace ppds::crypto {
@@ -406,6 +408,56 @@ TEST(BatchedEngine, AutoRefillsWithoutReserve) {
       });
   ASSERT_EQ(outcome.b.size(), 1u);
   EXPECT_EQ(outcome.b[0], msgs[3]);
+}
+
+TEST(BatchedEngine, AbortWipesPoolAndRefusesFurtherUse) {
+  // Fill both pools via a reserve round trip, then abort mid-session: the
+  // unconsumed correlated randomness must be zeroed IN PLACE (pool_wiped
+  // audits the live buffers) and every later operation must throw a typed
+  // ProtocolError — a half-consumed batch is never resumed.
+  auto [a, b] = net::make_channel();
+  Rng rng_s(91), rng_r(92);
+  BatchedOtSender s(test_group(), rng_s);
+  BatchedOtReceiver r(test_group(), rng_r);
+  std::thread peer([&r, &b_ref = b] { r.reserve(b_ref, 6); });
+  s.reserve(a, 6);
+  peer.join();
+  ASSERT_GE(s.remaining(), 6u);
+  ASSERT_GE(r.remaining(), 6u);
+  EXPECT_FALSE(s.pool_wiped());  // pads are random key material
+  EXPECT_FALSE(s.aborted());
+
+  s.abort();
+  r.abort();
+  EXPECT_TRUE(s.aborted());
+  EXPECT_TRUE(r.aborted());
+  EXPECT_TRUE(s.pool_wiped());
+  EXPECT_TRUE(r.pool_wiped());
+
+  const auto msgs = make_messages(4, 8);
+  EXPECT_THROW(s.send(a, msgs, 1), ProtocolError);
+  EXPECT_THROW(s.reserve(a, 1), ProtocolError);
+  const std::vector<std::size_t> want{0};
+  EXPECT_THROW(r.receive(b, want, 4, 8), ProtocolError);
+  EXPECT_THROW(r.reserve(b, 1), ProtocolError);
+}
+
+TEST(BatchedEngine, AbortIsIdempotent) {
+  Rng rng(93);
+  BatchedOtSender s(test_group(), rng);
+  s.abort();
+  s.abort();
+  EXPECT_TRUE(s.aborted());
+  EXPECT_TRUE(s.pool_wiped());
+}
+
+TEST(BatchedEngine, EmptyPoolReportsWiped) {
+  // Vacuous truth: a never-reserved engine holds no secret bytes.
+  Rng rng(94);
+  const BatchedOtSender s(test_group(), rng);
+  EXPECT_TRUE(s.pool_wiped());
+  const BatchedOtReceiver r(test_group(), rng);
+  EXPECT_TRUE(r.pool_wiped());
 }
 
 TEST(BatchedEngine, RefillsMidSessionAcrossManyTransfers) {

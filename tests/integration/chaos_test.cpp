@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppds/core/session_pool.hpp"
+#include "ppds/crypto/ot.hpp"
+#include "ppds/net/fault.hpp"
+
+/// \file chaos_test.cpp
+/// Deterministic chaos soak of the resilient transport (docs/PROTOCOL.md
+/// §6-§7): whole classification and similarity sessions run over channels
+/// whose frames are dropped, duplicated, reordered, bit-flipped, truncated
+/// and disconnected by a seeded injector, under a receive deadline and a
+/// whole-session retry policy. The sweep asserts, per fault seed:
+///
+///   * no crash, no deadlock — every recv is deadline-bounded;
+///   * every failure surfaces as a typed ppds::Error (ProtocolError once
+///     retries exhaust; nothing else escapes);
+///   * a run whose retries succeed produces the SAME labels / similarity as
+///     the fault-free baseline (fresh-randomness retry preserves results);
+///   * reruns of a seed reproduce exactly (print the seed, rerun the seed).
+///
+/// Seed count defaults to 64; the CI chaos-smoke job sets PPDS_CHAOS_SEEDS=8
+/// for a quick sweep. A failing seed is printed by SCOPED_TRACE.
+
+namespace ppds::core {
+namespace {
+
+std::size_t chaos_seed_count() {
+  if (const char* env = std::getenv("PPDS_CHAOS_SEEDS")) {
+    const unsigned long long n = std::strtoull(env, nullptr, 10);
+    if (n >= 1) return static_cast<std::size_t>(n);
+  }
+  return 64;
+}
+
+/// Gentle per-frame fault rates: most sessions see a fault somewhere, most
+/// retries eventually get a clean run through.
+net::FaultSpec chaos_faults() {
+  net::FaultSpec spec;
+  spec.drop = 0.01;
+  spec.duplicate = 0.01;
+  spec.reorder = 0.01;
+  spec.bit_flip = 0.01;
+  spec.truncate = 0.005;
+  spec.disconnect = 0.005;
+  return spec;
+}
+
+TransportOptions chaos_transport(std::uint64_t fault_seed) {
+  TransportOptions transport;
+  // Short but safely above any in-process compute step: each DROPPED frame
+  // costs the receiver a full deadline wait, so this bounds sweep time.
+  transport.recv_timeout = std::chrono::milliseconds{400};
+  transport.fault_a = chaos_faults();
+  transport.fault_b = chaos_faults();
+  transport.fault_seed = fault_seed;
+  transport.retry.max_attempts = 8;
+  transport.retry.backoff = std::chrono::milliseconds{1};
+  transport.retry.jitter = 0.5;  // deterministic, SplitMix64-drawn
+  return transport;
+}
+
+struct ClassFixture {
+  svm::SvmModel model;
+  ClassificationProfile profile;
+  std::vector<std::vector<double>> samples;
+
+  static ClassFixture make(std::size_t dim, std::size_t count,
+                           svm::Kernel kernel, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<math::Vec> svs;
+    std::vector<double> coeffs;
+    for (int s = 0; s < 2; ++s) {
+      math::Vec v(dim);
+      for (auto& x : v) x = rng.uniform_nonzero(-1.0, 1.0, 0.05);
+      svs.push_back(std::move(v));
+      coeffs.push_back(s == 0 ? 1.0 : -0.5);
+    }
+    svm::SvmModel model(std::move(kernel), std::move(svs), std::move(coeffs),
+                        rng.uniform(-0.2, 0.2));
+    auto profile = ClassificationProfile::make(dim, model.kernel());
+    std::vector<std::vector<double>> samples(count);
+    for (auto& s : samples) {
+      s.resize(dim);
+      for (auto& v : s) v = rng.uniform(-1.0, 1.0);
+    }
+    return ClassFixture{std::move(model), std::move(profile),
+                        std::move(samples)};
+  }
+};
+
+/// Runs the classification sweep for one fixture; returns how many seeds
+/// succeeded (the rest exhausted their retries with a typed ProtocolError).
+std::size_t sweep_classification(const ClassFixture& fx,
+                                 const SchemeConfig& cfg,
+                                 std::size_t chunk_size, std::size_t seeds) {
+  const ClassificationServer server(fx.model, fx.profile, cfg);
+  const ClassificationClient client(fx.profile, cfg);
+  SessionPool pool(server, client, fx.profile, cfg, 2);
+  const std::vector<int> baseline =
+      pool.classify_batch(fx.samples, /*seed=*/404, chunk_size);
+
+  std::size_t succeeded = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed) +
+                 " (rerun with this seed to reproduce)");
+    try {
+      const std::vector<int> labels = pool.classify_batch(
+          fx.samples, /*seed=*/404, chunk_size, chaos_transport(seed));
+      // A succeeding retry re-randomizes the whole session; sign(d(t~))
+      // is randomness-invariant, so the labels must match exactly.
+      EXPECT_EQ(labels, baseline);
+      ++succeeded;
+    } catch (const ProtocolError&) {
+      // Retries exhausted: acceptable, and the only acceptable failure.
+    }
+  }
+  return succeeded;
+}
+
+TEST(Chaos, LinearClassificationSurvivesFaultSweep) {
+  const ClassFixture fx =
+      ClassFixture::make(4, 3, svm::Kernel::linear(), 2024);
+  const std::size_t seeds = chaos_seed_count();
+  const std::size_t ok =
+      sweep_classification(fx, SchemeConfig::fast_simulation(), 2, seeds);
+  // The retry policy must pull most seeds through to a clean run.
+  EXPECT_GE(ok * 2, seeds) << ok << "/" << seeds << " seeds succeeded";
+}
+
+TEST(Chaos, PolynomialClassificationSurvivesFaultSweep) {
+  const ClassFixture fx =
+      ClassFixture::make(3, 2, svm::Kernel::paper_polynomial(2), 2025);
+  const std::size_t seeds = chaos_seed_count();
+  const std::size_t ok =
+      sweep_classification(fx, SchemeConfig::fast_simulation(), 2, seeds);
+  EXPECT_GE(ok * 2, seeds) << ok << "/" << seeds << " seeds succeeded";
+}
+
+TEST(Chaos, SimilaritySurvivesFaultSweep) {
+  Rng rng(31);
+  const std::size_t dim = 3;
+  auto random_model = [&]() {
+    math::Vec w(dim);
+    for (auto& v : w) v = rng.uniform_nonzero(-1.0, 1.0, 0.05);
+    return svm::SvmModel(svm::Kernel::linear(), {w}, {1.0},
+                         rng.uniform(-0.2, 0.2));
+  };
+  const auto a = random_model();
+  const auto b = random_model();
+  const DataSpace space;
+  const auto cfg = SchemeConfig::fast_simulation();
+  const SimilarityServer server(a, space, cfg);
+  const SimilarityClient client(b, space, cfg);
+  SimilaritySessionPool pool(server, client, a.kernel(), space, cfg, 2);
+
+  const std::vector<double> baseline = pool.evaluate_batch(1, /*seed=*/505);
+  const double plain = ordinary_similarity(a, b, space);
+
+  const std::size_t seeds = chaos_seed_count();
+  std::size_t succeeded = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed) +
+                 " (rerun with this seed to reproduce)");
+    try {
+      const std::vector<double> values =
+          pool.evaluate_batch(1, /*seed=*/505, chaos_transport(seed));
+      ASSERT_EQ(values.size(), baseline.size());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        // Retried evaluations use fresh randomness, so T matches the
+        // fault-free value only up to the scheme's approximation noise.
+        EXPECT_NEAR(values[i], plain, 1e-5 + 1e-3 * std::abs(plain)) << i;
+      }
+      ++succeeded;
+    } catch (const ProtocolError&) {
+    }
+  }
+  EXPECT_GE(succeeded * 2, seeds) << succeeded << "/" << seeds;
+}
+
+TEST(Chaos, SeedsReproduceExactly) {
+  // The whole point of seeded injection: the same (fixture, fault seed)
+  // produces the same outcome — success with identical labels, or the same
+  // typed failure.
+  const ClassFixture fx =
+      ClassFixture::make(4, 2, svm::Kernel::linear(), 2026);
+  const auto cfg = SchemeConfig::fast_simulation();
+  const ClassificationServer server(fx.model, fx.profile, cfg);
+  const ClassificationClient client(fx.profile, cfg);
+  SessionPool pool(server, client, fx.profile, cfg, 2);
+
+  auto run = [&](std::uint64_t seed) -> std::string {
+    try {
+      const auto labels =
+          pool.classify_batch(fx.samples, 7, 2, chaos_transport(seed));
+      std::string out = "ok:";
+      for (int l : labels) out += std::to_string(l) + ",";
+      return out;
+    } catch (const ProtocolError&) {
+      return "protocol-error";
+    }
+  };
+  for (std::uint64_t seed : {3u, 11u, 29u}) {
+    EXPECT_EQ(run(seed), run(seed)) << "seed " << seed;
+  }
+}
+
+TEST(Chaos, PrecomputedEngineAbortsWipeOtPools) {
+  // Real batched-OT path: a mid-transfer disconnect must abort both
+  // engines, and the abort must leave ZERO secret pad bytes behind
+  // (pool_wiped audits the live buffers in place).
+  const crypto::DhGroup group(crypto::GroupId::kModp1024);
+  auto [end_a, end_b] = net::make_channel();
+  Rng rng_s(61), rng_r(62);
+  crypto::BatchedOtSender sender(group, rng_s);
+  crypto::BatchedOtReceiver receiver(group, rng_r);
+
+  std::thread peer([&receiver, &b = end_b] { receiver.reserve(b, 4); });
+  sender.reserve(end_a, 4);
+  peer.join();
+  ASSERT_GE(sender.remaining(), 4u);
+  ASSERT_FALSE(sender.pool_wiped());  // live key material present
+
+  // Tear the link down mid-protocol, as an injected disconnect would.
+  end_a.close();
+  const auto msgs = std::vector<Bytes>{Bytes{1, 2}, Bytes{3, 4}};
+  try {
+    sender.send(end_a, msgs, 1);
+    FAIL() << "send over a closed channel must throw";
+  } catch (const ProtocolError&) {
+    sender.abort();
+  }
+  try {
+    const std::vector<std::size_t> want{0};
+    (void)receiver.receive(end_b, want, 2, 2);
+    FAIL() << "receive over a closed channel must throw";
+  } catch (const ProtocolError&) {
+    receiver.abort();
+  }
+
+  EXPECT_TRUE(sender.aborted());
+  EXPECT_TRUE(receiver.aborted());
+  EXPECT_TRUE(sender.pool_wiped());
+  EXPECT_TRUE(receiver.pool_wiped());
+  EXPECT_THROW(sender.send(end_a, msgs, 1), ProtocolError);
+}
+
+TEST(Chaos, SecureEngineSurvivesShortFaultSweep) {
+  // A few seeds through the REAL crypto stack (precomputed batched OT over
+  // modp1024): exercises the session-layer ot.abort() paths and fresh-engine
+  // retry under faults. Kept small — each attempt costs exponentiations.
+  ClassFixture fx = ClassFixture::make(2, 1, svm::Kernel::linear(), 2027);
+  SchemeConfig cfg;
+  cfg.ot_engine = OtEngine::kPrecomputed;
+  cfg.group = crypto::GroupId::kModp1024;
+  cfg.ompe.q = 2;
+  cfg.ompe.k = 2;
+  const ClassificationServer server(fx.model, fx.profile, cfg);
+  const ClassificationClient client(fx.profile, cfg);
+  SessionPool pool(server, client, fx.profile, cfg, 2);
+  const std::vector<int> baseline = pool.classify_batch(fx.samples, 9, 1);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    try {
+      EXPECT_EQ(pool.classify_batch(fx.samples, 9, 1, chaos_transport(seed)),
+                baseline);
+    } catch (const ProtocolError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppds::core

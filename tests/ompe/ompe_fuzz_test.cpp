@@ -94,6 +94,7 @@ TEST_P(OmpeWireFuzz, CorruptedRequestNeverCrashesSender) {
   {
     auto outcome = net::run_two_party(
         [&](net::Endpoint& ch) {
+          ch.set_stage(net::Stage::kOmpeRequest);  // mirror the receiver
           Bytes captured = ch.recv();
           ch.close();
           return captured;
@@ -136,7 +137,9 @@ TEST_P(OmpeWireFuzz, CorruptedRequestNeverCrashesSender) {
           return 0;
         },
         [&](net::Endpoint& ch) {
+          ch.set_stage(net::Stage::kOmpeRequest);  // mirror the sender
           ch.send(mutated);
+          ch.set_stage(net::Stage::kOtTransfer);
           try {
             ch.recv();
           } catch (const ProtocolError&) {

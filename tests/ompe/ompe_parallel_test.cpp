@@ -37,6 +37,7 @@ Bytes capture_request(Backend backend, unsigned eval_threads,
   const std::vector<double> alpha = wide_alpha();
   auto outcome = net::run_two_party(
       [&](net::Endpoint& ch) {
+        ch.set_stage(net::Stage::kOmpeRequest);  // mirror the receiver
         Bytes request = ch.recv();
         ch.close();  // abort the receiver's pending OT read
         return request;
@@ -111,7 +112,9 @@ Bytes capture_sender_reply(Backend backend, unsigned eval_threads,
         return 0;
       },
       [&](net::Endpoint& ch) {
+        ch.set_stage(net::Stage::kOmpeRequest);  // mirror the sender
         ch.send(Bytes(request));
+        ch.set_stage(net::Stage::kOtTransfer);
         return ch.recv();  // the loopback OT payload: all M masked values
       });
   return outcome.b;

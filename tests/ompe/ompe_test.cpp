@@ -289,6 +289,7 @@ TEST(Ompe, RequestsAreRerandomizedPerRun) {
         [&](net::Endpoint& ch) {
           // Capture the request rather than serving it, then close so the
           // receiver's pending OT read aborts instead of deadlocking.
+          ch.set_stage(net::Stage::kOmpeRequest);  // mirror the receiver
           Bytes request = ch.recv();
           ch.close();
           return request;

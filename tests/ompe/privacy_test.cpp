@@ -19,6 +19,7 @@ std::vector<double> capture_request_values(const std::vector<double>& alpha,
                                            std::uint64_t seed) {
   auto outcome = net::run_two_party(
       [&](net::Endpoint& ch) {
+        ch.set_stage(net::Stage::kOmpeRequest);  // mirror the receiver
         Bytes request = ch.recv();
         ch.close();
         return request;

@@ -1,0 +1,15 @@
+// Negative fixture for the abort-without-wipe rule of secret_hygiene.py.
+// NEVER compiled or linked — purely textual. The class below poisons itself
+// on a failed round trip but forgets to wipe the correlated randomness it
+// holds, which is exactly the bug the rule exists to catch: the abort path
+// runs when the peer is least trusted, and the pads survive in freed memory.
+
+struct ForgetfulEngine {
+  void abort() noexcept;
+  bool aborted_ = false;
+};
+
+// [abort-without-wipe] wipes nothing, delegates nowhere.
+void ForgetfulEngine::abort() noexcept {
+  aborted_ = true;
+}

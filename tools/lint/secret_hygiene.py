@@ -19,6 +19,12 @@ arguments even when the protocol itself is correct:
                    (Bytes/Digest/uint8_t arrays named *key*, *secret*,
                    *seed*, *pad*) but never calls secure_wipe — dead-store
                    elimination leaves the bytes in freed memory.
+  abort-without-wipe
+                   a .cpp file that defines an abort() method but neither
+                   calls secure_wipe nor delegates to another abort() —
+                   an abort path that forgets its key material leaves
+                   secrets behind exactly when the protocol is in its least
+                   trusted state (docs/PROTOCOL.md §7).
 
 Suppressions (each must carry a justification in review; the budget is
 zero-growth):
@@ -95,6 +101,11 @@ SECRET_DECL = re.compile(
 )
 WIPE_CALL = re.compile(r"\bsecure_wipe")
 
+# File-level rule: an abort() DEFINITION (Class::abort) must wipe something
+# or delegate to a member's abort() that does.
+ABORT_DEF = re.compile(r"\w+::abort\s*\(")
+ABORT_DELEGATE = re.compile(r"(?:\.|->)\s*abort\s*\(")
+
 
 def strip_strings(line: str) -> str:
     """Blanks out string/char literals so their contents can't trip rules."""
@@ -137,6 +148,31 @@ def find_violations(path: Path, text: str) -> list[tuple[Path, int, str, str]]:
                     "ppds::secure_wipe on anything",
                 )
             )
+
+    if (
+        path.suffix in {".cpp", ".cc", ".cxx"}
+        and "abort-without-wipe" not in file_allowed
+    ):
+        abort_line = None
+        for i, raw in enumerate(lines):
+            if ABORT_DEF.search(strip_strings(raw)) and not ALLOW_LINE.search(raw):
+                abort_line = i + 1
+                break
+        if (
+            abort_line is not None
+            and not WIPE_CALL.search(text)
+            and not ABORT_DELEGATE.search(text)
+        ):
+            out.append(
+                (
+                    path,
+                    abort_line,
+                    "abort-without-wipe",
+                    "abort() neither secure_wipes secret buffers nor "
+                    "delegates to an abort() that does; aborted sessions "
+                    "must leave no key material behind",
+                )
+            )
     return out
 
 
@@ -172,7 +208,10 @@ def self_test(root: Path) -> int:
         return 2
     violations = scan_paths(fixtures)
     fired = {rule for (_, _, rule, _) in violations}
-    expected = {rule for rule, _, _ in LINE_RULES} | {"missing-wipe"}
+    expected = {rule for rule, _, _ in LINE_RULES} | {
+        "missing-wipe",
+        "abort-without-wipe",
+    }
     missing = expected - fired
     ok = True
     if missing:
