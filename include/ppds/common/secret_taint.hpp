@@ -1,0 +1,95 @@
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "ppds/common/ct.hpp"
+
+/// \file secret_taint.hpp
+/// Source-level secrecy lattice for the semantic taint analyzer
+/// (tools/lint/taint_analyzer.py).
+///
+/// The protocol proofs assume Bob learns only sign(d(t̃)) and Alice learns
+/// nothing — an argument that dies the moment a secret value steers a
+/// branch, indexes an array, feeds a variable-latency division, or reaches
+/// a log line. The lexical hygiene linter catches *named* secrets at their
+/// point of use; this header gives the taint analyzer the ground truth it
+/// needs to follow secret VALUES through assignments, arithmetic, and call
+/// summaries, wherever their names end up.
+///
+/// Three primitives:
+///
+///  * `PPDS_SECRET` — annotates a declaration (member, local, parameter) as
+///    a taint ROOT. Under Clang it expands to
+///    `[[clang::annotate("ppds::secret")]]` so AST tooling sees it; under
+///    other compilers it expands to nothing. Zero code is generated either
+///    way.
+///
+///  * `Secret<T>` — a value wrapper for secret scalars. The analyzer treats
+///    every `Secret<...>` declaration as a root, so a secret that travels
+///    through auto/templates keeps its taint without an annotation at every
+///    hop. The wrapped value is reachable only through `value()` (still
+///    tainted) or `PPDS_DECLASSIFY`. The destructor wipes the storage.
+///
+///  * `PPDS_DECLASSIFY(expr, why)` — the ONLY sanctioned secret→public
+///    exit. Expands to `(expr)` (the justification string is discarded at
+///    compile time, never evaluated). The analyzer stops taint at the macro
+///    and records the site; every site must appear in the audit list in
+///    docs/STATIC_ANALYSIS.md. Declassifying anywhere else is a finding.
+///
+/// All three are transcript-neutral: release builds emit byte-identical
+/// protocol messages with and without them (determinism tests pin this).
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage) -- attribute/marker macros
+// cannot be functions: the analyzer keys on their spelling.
+#if defined(__clang__)
+#define PPDS_SECRET [[clang::annotate("ppds::secret")]]
+#else
+#define PPDS_SECRET
+#endif
+
+/// The one sanctioned secret→public exit. `why` must be a string literal
+/// naming the masking/blinding argument that makes the reveal safe; it is
+/// swallowed by the preprocessor, so there is no runtime cost.
+#define PPDS_DECLASSIFY(expr, why) (expr)
+// NOLINTEND(cppcoreguidelines-macro-usage)
+
+namespace ppds {
+
+/// Secret scalar wrapper: carries taint through type deduction, keeps the
+/// value out of accidental conversions (no implicit operator T), and wipes
+/// its storage on destruction. Intended for trivially-copyable scalars
+/// (seeds, choice bits, amplifiers); buffers use PPDS_SECRET + ScopedWipe.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class Secret {
+ public:
+  constexpr Secret() noexcept : value_{} {}
+  constexpr explicit Secret(T value) noexcept : value_(std::move(value)) {}
+
+  Secret(const Secret&) noexcept = default;
+  Secret& operator=(const Secret&) noexcept = default;
+
+  ~Secret() { secure_wipe_object(value_); }
+
+  /// Tainted read access — the analyzer propagates taint through it.
+  [[nodiscard]] constexpr const T& value() const noexcept { return value_; }
+
+  /// Tainted write access.
+  constexpr void set(T value) noexcept { value_ = std::move(value); }
+
+  /// Arithmetic stays inside the lattice: combining secrets yields secrets.
+  friend constexpr Secret operator+(Secret a, Secret b) noexcept {
+    return Secret(static_cast<T>(a.value_ + b.value_));
+  }
+  friend constexpr Secret operator^(Secret a, Secret b) noexcept
+    requires std::is_integral_v<T>
+  {
+    return Secret(static_cast<T>(a.value_ ^ b.value_));
+  }
+
+ private:
+  T value_;
+};
+
+}  // namespace ppds

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "ppds/common/secret_taint.hpp"
 #include "ppds/core/config.hpp"
 #include "ppds/math/monomial.hpp"
 #include "ppds/net/channel.hpp"
@@ -60,16 +61,16 @@ class ClassificationServer {
   void serve(net::Endpoint& channel, std::size_t count, Rng& rng) const;
 
  private:
-  svm::SvmModel model_;
+  PPDS_SECRET svm::SvmModel model_;
   ClassificationProfile profile_;
   SchemeConfig config_;
   /// Monomial-basis kernels (polynomial) expand to a LINEAR function of the
   /// transformed variates tau: coefficients + constant, served through the
   /// OMPE linear fast path. Other kernels keep the generic MultiPoly.
   bool linear_in_tau_ = false;
-  std::vector<double> tau_coeffs_;
-  double tau_constant_ = 0.0;
-  math::MultiPoly poly_;
+  PPDS_SECRET std::vector<double> tau_coeffs_;
+  PPDS_SECRET double tau_constant_ = 0.0;
+  PPDS_SECRET math::MultiPoly poly_;
 };
 
 /// The coefficient form of the expansion for monomial-basis profiles:

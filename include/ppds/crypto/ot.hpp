@@ -5,6 +5,7 @@
 
 #include "ppds/common/bytes.hpp"
 #include "ppds/common/rng.hpp"
+#include "ppds/common/secret_taint.hpp"
 #include "ppds/crypto/group.hpp"
 #include "ppds/net/channel.hpp"
 
@@ -88,7 +89,7 @@ class NaorPinkasReceiver : public OtReceiver {
                              std::span<const std::size_t> indices,
                              std::size_t n, std::size_t message_len) override;
 
-  Bytes receive_1of2(net::Endpoint& channel, bool choice,
+  Bytes receive_1of2(net::Endpoint& channel, PPDS_SECRET bool choice,
                      std::size_t message_len);
 
   const DhGroup& group() const { return group_; }
@@ -136,15 +137,17 @@ class LoopbackReceiver : public OtReceiver {
 /// exponentiations. Fixed-base tables (group.hpp) serve every g^x, and the
 /// receiver builds a per-batch table for g^r.
 
-/// Offline artifact held by the sender: both random pads per slot.
+/// Offline artifact held by the sender: both random pads per slot (Beaver
+/// correlated randomness — taint roots for the analyzer).
 struct PrecomputedSendSlot {
-  Bytes r0, r1;
+  PPDS_SECRET Bytes r0;
+  PPDS_SECRET Bytes r1;
 };
 
 /// Offline artifact held by the receiver: its random choice and pad.
 struct PrecomputedRecvSlot {
-  bool choice = false;
-  Bytes pad;
+  PPDS_SECRET bool choice = false;
+  PPDS_SECRET Bytes pad;
 };
 
 /// Number of 1-out-of-2 key transfers a 1-out-of-n OT needs: ceil(log2 n)
@@ -180,7 +183,7 @@ class PrecomputedOtSender : public OtSender {
   void send_1ofn(net::Endpoint& channel, std::span<const Bytes> messages);
 
   Rng& rng_;
-  std::vector<PrecomputedSendSlot> slots_;
+  PPDS_SECRET std::vector<PrecomputedSendSlot> slots_;
   std::size_t next_ = 0;
 };
 
@@ -202,7 +205,7 @@ class PrecomputedOtReceiver : public OtReceiver {
   Bytes receive_1ofn(net::Endpoint& channel, std::size_t index, std::size_t n,
                      std::size_t message_len);
 
-  std::vector<PrecomputedRecvSlot> slots_;
+  PPDS_SECRET std::vector<PrecomputedRecvSlot> slots_;
   std::size_t next_ = 0;
 };
 
@@ -258,7 +261,7 @@ class BatchedOtSender : public OtSender {
   NaorPinkasSender base_;
   Rng& rng_;
   std::size_t refill_batch_;
-  std::vector<PrecomputedSendSlot> pool_;
+  PPDS_SECRET std::vector<PrecomputedSendSlot> pool_;
   std::size_t next_ = 0;
   bool aborted_ = false;
 };
@@ -289,7 +292,7 @@ class BatchedOtReceiver : public OtReceiver {
   NaorPinkasReceiver base_;
   Rng& rng_;
   std::size_t refill_batch_;
-  std::vector<PrecomputedRecvSlot> pool_;
+  PPDS_SECRET std::vector<PrecomputedRecvSlot> pool_;
   std::size_t next_ = 0;
   bool aborted_ = false;
 };
@@ -300,6 +303,7 @@ void precomputed_send_1of2(net::Endpoint& channel,
                            const Bytes& m1);
 
 Bytes precomputed_receive_1of2(net::Endpoint& channel,
-                               const PrecomputedRecvSlot& slot, bool choice);
+                               const PrecomputedRecvSlot& slot,
+                               PPDS_SECRET bool choice);
 
 }  // namespace ppds::crypto

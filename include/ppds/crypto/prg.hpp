@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "ppds/common/bytes.hpp"
+#include "ppds/common/secret_taint.hpp"
 #include "ppds/crypto/sha256.hpp"
 
 /// \file prg.hpp
@@ -36,13 +37,13 @@ class Prg {
  private:
   void refill();
 
-  Digest seed_;
+  PPDS_SECRET Digest seed_;
   std::uint64_t counter_ = 0;
-  Digest block_{};
+  PPDS_SECRET Digest block_{};
   std::size_t block_pos_ = sizeof(Digest);
 };
 
 /// One-shot pad: PRG(seed) XOR data (used by the OT encryptions).
-Bytes xor_pad(const Digest& seed, std::span<const std::uint8_t> data);
+Bytes xor_pad(PPDS_SECRET const Digest& seed, std::span<const std::uint8_t> data);
 
 }  // namespace ppds::crypto

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "ppds/common/bytes.hpp"
+#include "ppds/common/secret_taint.hpp"
 
 /// \file sha256.hpp
 /// SHA-256 (FIPS 180-4), implemented from scratch.
@@ -37,10 +38,12 @@ class Sha256 {
   Digest finish();
 
  private:
-  void compress(const std::uint8_t* block);
+  void compress(PPDS_SECRET const std::uint8_t* block);
 
-  std::array<std::uint32_t, 8> h_{};
-  std::array<std::uint8_t, 64> buf_{};
+  // Chaining state and buffered tail are key material whenever the hash
+  // keys an OT pad or the PRG (taint roots for tools/lint/taint_analyzer.py).
+  PPDS_SECRET std::array<std::uint32_t, 8> h_{};
+  PPDS_SECRET std::array<std::uint8_t, 64> buf_{};
   std::size_t buf_len_ = 0;
   std::uint64_t total_len_ = 0;
 };

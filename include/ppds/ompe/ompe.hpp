@@ -5,6 +5,7 @@
 
 #include "ppds/common/fixed_point.hpp"
 #include "ppds/common/rng.hpp"
+#include "ppds/common/secret_taint.hpp"
 #include "ppds/crypto/ot.hpp"
 #include "ppds/math/multipoly.hpp"
 #include "ppds/net/channel.hpp"
@@ -108,7 +109,7 @@ void reset_stage_counters();
 /// classification scheme declares the kernel degree p although the expanded
 /// polynomial is linear in the monomial variates tau, so the protocol cost
 /// m = p*q + 1 matches Section IV-B of the paper.
-void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
+void run_sender(net::Endpoint& channel, PPDS_SECRET const math::MultiPoly& secret,
                 const OmpeParams& params, crypto::OtSender& ot, Rng& rng,
                 unsigned declared_degree = 0);
 
@@ -118,14 +119,16 @@ void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
 /// variates; representing that expansion as a MultiPoly would cost
 /// O(arity^2) memory, while this path evaluates each disguised pair in
 /// O(arity). Protocol messages are identical to the generic path.
-void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
-                       double b, const OmpeParams& params,
+void run_sender_linear(net::Endpoint& channel,
+                       PPDS_SECRET std::span<const double> w,
+                       PPDS_SECRET double b, const OmpeParams& params,
                        crypto::OtSender& ot, Rng& rng,
                        unsigned declared_degree = 0);
 
 /// Runs the receiver role; returns P(alpha).
 /// \p degree and \p arity describe the sender's polynomial (public).
-double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
+double run_receiver(net::Endpoint& channel,
+                    PPDS_SECRET std::span<const double> alpha,
                     unsigned degree, std::size_t arity,
                     const OmpeParams& params, crypto::OtReceiver& ot,
                     Rng& rng);

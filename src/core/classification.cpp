@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ppds/common/ct.hpp"
+#include "ppds/common/secret_taint.hpp"
 #include "ppds/math/taylor.hpp"
 #include "ppds/net/framing.hpp"
 
@@ -257,14 +258,14 @@ void ClassificationServer::serve(net::Endpoint& channel, std::size_t count,
       // EXPERIMENTS.md; an observation the paper does not make).
       const double ra = rng.log_uniform_positive(-8.0, 8.0);
       if (linear_in_tau_) {
-        std::vector<double> amplified = tau_coeffs_;
+        PPDS_SECRET std::vector<double> amplified = tau_coeffs_;
         const ScopedWipe guard(amplified);  // ra-amplified model is secret
         for (double& c : amplified) c *= ra;
         ompe::run_sender_linear(channel, amplified, ra * tau_constant_,
                                 config_.ompe, ot.sender(), rng,
                                 profile_.declared_degree);
       } else {
-        math::MultiPoly amplified = poly_;
+        PPDS_SECRET math::MultiPoly amplified = poly_;
         amplified.scale(ra);
         ompe::run_sender(channel, amplified, config_.ompe, ot.sender(), rng,
                          profile_.declared_degree);
@@ -291,7 +292,13 @@ double ClassificationClient::query_value(net::Endpoint& channel,
 int ClassificationClient::classify(net::Endpoint& channel,
                                    const std::vector<double>& sample,
                                    Rng& rng) const {
-  return query_value(channel, sample, rng) < 0.0 ? -1 : 1;
+  // Two-step reveal: declassify the comparison (a single public bit), then
+  // branch on the public bool — never on the masked value itself.
+  const bool negative = PPDS_DECLASSIFY(
+      query_value(channel, sample, rng) < 0.0,
+      "sign(ra * d(tau)) is the protocol output Bob is entitled to; the "
+      "positive amplifier ra preserves the sign while hiding |d|");
+  return negative ? -1 : 1;
 }
 
 std::vector<double> ClassificationClient::query_values_batch(
@@ -325,7 +332,11 @@ std::vector<int> ClassificationClient::classify_batch(
   const std::vector<double> values = query_values_batch(channel, samples, rng);
   std::vector<int> labels;
   labels.reserve(values.size());
-  for (double v : values) labels.push_back(v < 0.0 ? -1 : 1);
+  for (double v : values) {
+    const bool negative = PPDS_DECLASSIFY(
+        v < 0.0, "sign(ra * d(tau)) is the protocol output (see classify())");
+    labels.push_back(negative ? -1 : 1);
+  }
   return labels;
 }
 

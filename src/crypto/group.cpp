@@ -4,6 +4,7 @@
 
 #include "ppds/common/ct.hpp"
 #include "ppds/common/error.hpp"
+#include "ppds/common/secret_taint.hpp"
 
 namespace ppds::crypto {
 
@@ -185,7 +186,9 @@ mpz_class DhGroup::random_exponent(Rng& rng) const {
   const std::size_t bits = mpz_sizeinbase(q_.get_mpz_t(), 2);
   const std::size_t words = (bits + 63) / 64;
   for (;;) {
-    mpz_class candidate = 0;
+    // DH private exponent in the making: the taint root for every secret
+    // exponent in the Naor-Pinkas OT (sender x, receiver k, base-OT pads).
+    PPDS_SECRET mpz_class candidate = 0;
     for (std::size_t i = 0; i < words; ++i) {
       const std::uint64_t word = rng();
       candidate <<= 32;

@@ -53,7 +53,7 @@ void send_1ofn_impl(net::Endpoint& channel, std::span<const Bytes> messages,
   const std::size_t n = messages.size();
   const std::size_t nbits = bits_for(n);
 
-  std::vector<std::array<Bytes, 2>> keys(nbits);
+  PPDS_SECRET std::vector<std::array<Bytes, 2>> keys(nbits);
   for (auto& pair : keys) {
     for (int side = 0; side < 2; ++side) {
       Bytes& key = pair[side];
@@ -105,7 +105,7 @@ Bytes receive_1ofn_impl(net::Endpoint& channel, std::size_t index,
 
   Bytes cipher(ciphertexts.begin() + static_cast<std::ptrdiff_t>(index * message_len),
                ciphertexts.begin() + static_cast<std::ptrdiff_t>((index + 1) * message_len));
-  Digest pad_key = sha256_tagged(parts);
+  PPDS_SECRET Digest pad_key = sha256_tagged(parts);
   wipe_all(parts);
   Bytes plain = xor_pad(pad_key, cipher);
   secure_wipe(std::span(pad_key));
@@ -141,14 +141,18 @@ void NaorPinkasSender::send_1of2(net::Endpoint& channel, const Bytes& m0,
   channel.send(w.take());
 }
 
-Bytes NaorPinkasReceiver::receive_1of2(net::Endpoint& channel, bool choice,
+Bytes NaorPinkasReceiver::receive_1of2(net::Endpoint& channel,
+                                       PPDS_SECRET bool choice,
                                        std::size_t message_len) {
   const mpz_class c = group_.deserialize(channel.recv());
 
   const mpz_class x = group_.random_exponent(rng_);
   const mpz_class pk_choice = group_.pow_g(x);
   const mpz_class pk_other = group_.mul(c, group_.invert(pk_choice));
-  channel.send(group_.serialize(choice ? pk_other : pk_choice));
+  channel.send(PPDS_DECLASSIFY(
+      group_.serialize(choice ? pk_other : pk_choice),
+      "blinded key: pk_other = C * pk_choice^-1, so the pair (PK_0) sent is "
+      "uniform regardless of choice; recovering choice needs CDH"));
 
   const Bytes reply = channel.recv();
   ByteReader rd(reply);
@@ -368,8 +372,8 @@ std::vector<PrecomputedSendSlot> precompute_ot_sender(
     const mpz_class pk0 = group.deserialize(rd.raw(group.element_bytes()));
     const mpz_class s0 = group.pow(pk0, r);  // the one full exp per slot
     const mpz_class s1 = group.mul(c_r, group.invert(s0));
-    Digest k0 = group.hash_to_key(s0, 2 * i);
-    Digest k1 = group.hash_to_key(s1, 2 * i + 1);
+    PPDS_SECRET Digest k0 = group.hash_to_key(s0, 2 * i);
+    PPDS_SECRET Digest k1 = group.hash_to_key(s1, 2 * i + 1);
     slots[i].r0.assign(k0.begin(), k0.begin() + static_cast<std::ptrdiff_t>(pad_len));
     slots[i].r1.assign(k1.begin(), k1.begin() + static_cast<std::ptrdiff_t>(pad_len));
     secure_wipe(std::span(k0));
@@ -407,9 +411,13 @@ std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
     const mpz_class x = group.random_exponent(rng);
     const mpz_class pk_choice = group.pow_g(x);
     const mpz_class pk_other = group.mul(c, group.invert(pk_choice));
-    w.raw(group.serialize(slot.choice ? pk_other : pk_choice));
+    w.raw(PPDS_DECLASSIFY(
+        group.serialize(slot.choice ? pk_other : pk_choice),
+        "blinded key: the announced PK_0 is uniform whichever pad the "
+        "receiver keeps; recovering the choice bit needs CDH"));
     const mpz_class shared = group.pow_with(gr_table.get(), gr, x);
-    Digest key = group.hash_to_key(shared, 2 * i + (slot.choice ? 1 : 0));
+    PPDS_SECRET Digest key =
+        group.hash_to_key(shared, 2 * i + (slot.choice ? 1 : 0));
     slot.pad.assign(key.begin(), key.begin() + static_cast<std::ptrdiff_t>(pad_len));
     secure_wipe(std::span(key));
   }
@@ -436,19 +444,28 @@ void precomputed_send_1of2(net::Endpoint& channel,
   for (std::size_t i = 0; i < e1.size(); ++i) e1[i] ^= pad_for_1[i];
   w.raw(e0);
   w.raw(e1);
-  channel.send(w.take());
+  channel.send(PPDS_DECLASSIFY(
+      w.take(), "one-time-pad ciphertexts: each message is XORed with a "
+                "fresh precomputed pad the receiver knows at most one of"));
 }
 
 Bytes precomputed_receive_1of2(net::Endpoint& channel,
-                               const PrecomputedRecvSlot& slot, bool choice) {
+                               const PrecomputedRecvSlot& slot,
+                               PPDS_SECRET bool choice) {
   const bool flip = choice != slot.choice;
-  channel.send(Bytes{static_cast<std::uint8_t>(flip ? 1 : 0)});
+  channel.send(PPDS_DECLASSIFY(
+      Bytes{static_cast<std::uint8_t>(flip)},
+      "correction bit: flip = choice XOR precomputed random choice is "
+      "uniform and independent of the real choice"));
 
   const Bytes reply = channel.recv();
   const std::size_t len = slot.pad.size();
   detail::require(reply.size() == 2 * len, "precomputed ot: bad reply");
-  Bytes out(reply.begin() + static_cast<std::ptrdiff_t>(choice ? len : 0),
-            reply.begin() + static_cast<std::ptrdiff_t>(choice ? 2 * len : len));
+  // Branchless half-select; both halves of the 2*len reply typically share
+  // a cache line for 32-byte pads, keeping the copy's footprint uniform.
+  const std::size_t off = static_cast<std::size_t>(choice) * len;
+  Bytes out(reply.begin() + static_cast<std::ptrdiff_t>(off),
+            reply.begin() + static_cast<std::ptrdiff_t>(off + len));
   for (std::size_t i = 0; i < len; ++i) out[i] ^= slot.pad[i];
   return out;
 }
@@ -480,9 +497,12 @@ void BatchedOtSender::abort() noexcept {
 bool BatchedOtSender::pool_wiped() const {
   for (const PrecomputedSendSlot& slot : pool_) {
     for (std::uint8_t b : slot.r0) {
+      // abort-audit hook: only ever runs on a pool that abort() has zeroed,
+      // so this scans dead key material. taint: allow(secret-branch)
       if (b != 0) return false;
     }
     for (std::uint8_t b : slot.r1) {
+      // abort-audit hook: see above. taint: allow(secret-branch)
       if (b != 0) return false;
     }
   }
@@ -552,6 +572,8 @@ void BatchedOtReceiver::abort() noexcept {
 bool BatchedOtReceiver::pool_wiped() const {
   for (const PrecomputedRecvSlot& slot : pool_) {
     for (std::uint8_t b : slot.pad) {
+      // abort-audit hook: only ever runs on a pool that abort() has zeroed,
+      // so this scans dead key material. taint: allow(secret-branch)
       if (b != 0) return false;
     }
   }

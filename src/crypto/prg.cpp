@@ -47,7 +47,7 @@ std::uint64_t Prg::next_u64() {
   return v;
 }
 
-Bytes xor_pad(const Digest& seed, std::span<const std::uint8_t> data) {
+Bytes xor_pad(PPDS_SECRET const Digest& seed, std::span<const std::uint8_t> data) {
   Bytes out(data.begin(), data.end());
   Prg prg(seed);
   prg.xor_into(out);

@@ -86,7 +86,7 @@ Digest Sha256::finish() {
   return out;
 }
 
-void Sha256::compress(const std::uint8_t* block) {
+void Sha256::compress(PPDS_SECRET const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |

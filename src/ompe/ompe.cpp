@@ -368,7 +368,7 @@ void run_sender_impl(net::Endpoint& channel, std::size_t arity,
   const std::span<const std::uint8_t> body = r.view(big_m * stride);
   r.expect_end();
 
-  std::vector<Bytes> values(big_m);
+  PPDS_SECRET std::vector<Bytes> values(big_m);
   // Only m of the M evaluations are transferred; the rest stay secret and
   // must not linger in freed heap pages — including when the OT round (or a
   // faulty channel) throws mid-transfer.
@@ -400,7 +400,8 @@ void run_sender_impl(net::Endpoint& channel, std::size_t arity,
       // Masking polynomial h, degree p*q, h(0) = 0. The coefficient bound
       // trades masking magnitude against the conditioning of the receiver's
       // degree-p*q interpolation (error scales with |h| at the nodes).
-      const auto h = math::random_poly<double>(rng, p * params.q, 0.0, 8.0);
+      PPDS_SECRET const auto h =
+          math::random_poly<double>(rng, p * params.q, 0.0, 8.0);
       for_each_chunk(big_m, tasks, [&](std::size_t begin, std::size_t end) {
         std::vector<double> z(arity);
         std::vector<double> scratch;
@@ -415,7 +416,7 @@ void run_sender_impl(net::Endpoint& channel, std::size_t arity,
       });
     } else {
       // h over the field: uniform coefficients, zero constant term.
-      std::vector<M61> h_coeffs(p * params.q + 1);
+      PPDS_SECRET std::vector<M61> h_coeffs(p * params.q + 1);
       for (std::size_t i = 1; i < h_coeffs.size(); ++i) {
         h_coeffs[i] = random_field_element(rng);
       }
@@ -439,7 +440,13 @@ void run_sender_impl(net::Endpoint& channel, std::size_t arity,
     const StageTimer timer(stage_atomics().ot_ns);
     count_points(stage_atomics().ot_elements, big_m);
     channel.set_stage(net::Stage::kOtTransfer);
-    ot.send(channel, values, m);
+    ot.send(channel,
+            PPDS_DECLASSIFY(values,
+                            "every offered value is A(v,z) = h(v) + P(z) with "
+                            "h a fresh masking polynomial (h(0) = 0); the OT "
+                            "reveals only the m receiver-chosen values, and "
+                            "those are exactly the protocol output points"),
+            m);
   }
 }
 
@@ -471,13 +478,14 @@ void reset_stage_counters() {
   a.interp_points.store(0, std::memory_order_relaxed);
 }
 
-void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
+void run_sender(net::Endpoint& channel,
+                PPDS_SECRET const math::MultiPoly& secret,
                 const OmpeParams& params, crypto::OtSender& ot, Rng& rng,
                 unsigned declared_degree) {
   const unsigned actual = std::max(1u, secret.total_degree());
   const unsigned p = declared_degree == 0 ? actual : declared_degree;
 
-  std::vector<M61> coeffs;
+  PPDS_SECRET std::vector<M61> coeffs;
   // The encoded coefficients mirror the caller's secret polynomial; wipe on
   // every exit, including a mid-protocol throw.
   const ScopedWipe coeffs_guard(coeffs);
@@ -509,18 +517,19 @@ void run_sender(net::Endpoint& channel, const math::MultiPoly& secret,
   }
 }
 
-void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
-                       double b, const OmpeParams& params,
+void run_sender_linear(net::Endpoint& channel,
+                       PPDS_SECRET std::span<const double> w,
+                       PPDS_SECRET double b, const OmpeParams& params,
                        crypto::OtSender& ot, Rng& rng,
                        unsigned declared_degree) {
   const unsigned p = declared_degree == 0 ? 1 : declared_degree;
 
   // Field encoding with scale harmonization: linear terms carry one input
   // scale, so their coefficients get 2^{f*p}; the constant gets 2^{f*(p+1)}.
-  std::vector<M61> w_enc;
+  PPDS_SECRET std::vector<M61> w_enc;
   // The encoded model weights mirror the caller's secret model.
   const ScopedWipe w_enc_guard(w_enc);
-  M61 b_enc;
+  PPDS_SECRET M61 b_enc;
   if (params.backend == Backend::kField) {
     const double w_scale =
         std::pow(2.0, static_cast<double>(params.frac_bits) * p);
@@ -555,7 +564,8 @@ void run_sender_linear(net::Endpoint& channel, std::span<const double> w,
   secure_wipe_object(b_enc);
 }
 
-double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
+double run_receiver(net::Endpoint& channel,
+                    PPDS_SECRET std::span<const double> alpha,
                     unsigned degree, std::size_t arity,
                     const OmpeParams& params, crypto::OtReceiver& ot,
                     Rng& rng) {
@@ -563,8 +573,8 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
   detail::require(degree >= 1, "ompe: degree must be >= 1");
   const std::size_t m = params.m(degree);
   const std::size_t big_m = params.big_m(degree);
-  const std::vector<std::size_t> keep = rng.sample_indices(big_m, m);
-  std::vector<bool> is_kept(big_m, false);
+  PPDS_SECRET const std::vector<std::size_t> keep = rng.sample_indices(big_m, m);
+  PPDS_SECRET std::vector<bool> is_kept(big_m, false);
   for (std::size_t idx : keep) is_kept[idx] = true;
 
   // The request size is known exactly up front: header + M x (arity+1)
@@ -595,7 +605,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
       // coefficient array (variate j's coefficients at [j*(q+1), j*(q+1)+q],
       // constant first) — the nonlinear scheme has hundreds of thousands of
       // variates, so per-cover Poly allocations would dominate.
-      std::vector<double> covers((cq + 1) * arity);
+      PPDS_SECRET std::vector<double> covers((cq + 1) * arity);
       const ScopedWipe covers_guard(covers);  // g_i(0) = alpha_i is secret
       for (std::size_t j = 0; j < arity; ++j) {
         covers[j * (cq + 1)] = alpha[j];
@@ -608,7 +618,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
       // Disguise tuples are drawn from SplitMix64-derived per-point streams
       // (seeded once from the caller's rng), so the parallel sweep emits
       // bit-identical bytes for every eval_threads setting.
-      const std::uint64_t disguise_seed = rng();
+      const Secret<std::uint64_t> disguise_seed(rng());
 
       const std::size_t tasks = plan_tasks(params.eval_threads, big_m, arity + 1);
       for_each_chunk(big_m, tasks, [&](std::size_t begin, std::size_t end) {
@@ -627,7 +637,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
           } else {
             // Disguise tuples drawn from the same distribution family as real
             // cover evaluations, so Alice cannot tell them apart statistically.
-            Rng point_rng(splitmix64(disguise_seed, i));
+            Rng point_rng(splitmix64(disguise_seed.value(), i));
             for (std::size_t j = 0; j < arity; ++j) {
               store_le_f64(slot.subspan(8 + 8 * j, 8).data(),
                            random_cover_eval(point_rng, params.q, v, bound));
@@ -640,7 +650,13 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
       }
     }
     channel.set_stage(net::Stage::kOmpeRequest);
-    channel.send(w.take());
+    channel.send(PPDS_DECLASSIFY(
+        w.take(),
+        "OMPE request bundle: kept slots carry cover-polynomial "
+                        "evaluations masked by q uniform random coefficients per "
+                        "variate, disguised slots are fresh per-point randomness; "
+                        "the OMPE hiding argument makes the bundle independent "
+                        "of alpha and of the kept subset"));
 
     // The transferred evaluations and interpolation scratch reveal which
     // pairs were kept; wipe before the buffers return to the allocator —
@@ -677,7 +693,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
 
     // Covers as one flat coefficient array (see the real backend above);
     // coefficients are uniform field elements (information-theoretic).
-    std::vector<M61> covers((cq + 1) * arity);
+    PPDS_SECRET std::vector<M61> covers((cq + 1) * arity);
     const ScopedWipe covers_guard(covers);
     for (std::size_t j = 0; j < arity; ++j) {
       covers[j * (cq + 1)] = field::encode(fp, alpha[j]);
@@ -686,7 +702,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
       }
     }
     const std::vector<M61> nodes = field_nodes(rng, big_m);
-    const std::uint64_t disguise_seed = rng();
+    const Secret<std::uint64_t> disguise_seed(rng());
 
     const std::size_t tasks = plan_tasks(params.eval_threads, big_m, arity + 1);
     for_each_chunk(big_m, tasks, [&](std::size_t begin, std::size_t end) {
@@ -702,7 +718,7 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
             store_le64(slot.subspan(8 + 8 * j, 8).data(), acc.value());
           }
         } else {
-          Rng point_rng(splitmix64(disguise_seed, i));
+          Rng point_rng(splitmix64(disguise_seed.value(), i));
           for (std::size_t j = 0; j < arity; ++j) {
             store_le64(slot.subspan(8 + 8 * j, 8).data(),
                        random_field_element(point_rng).value());
@@ -715,7 +731,13 @@ double run_receiver(net::Endpoint& channel, std::span<const double> alpha,
     }
   }
   channel.set_stage(net::Stage::kOmpeRequest);
-  channel.send(w.take());
+  channel.send(PPDS_DECLASSIFY(
+      w.take(),
+      "OMPE request bundle: kept slots carry cover-polynomial "
+                        "evaluations masked by q uniform random coefficients per "
+                        "variate, disguised slots are fresh per-point randomness; "
+                        "the OMPE hiding argument makes the bundle independent "
+                        "of alpha and of the kept subset"));
 
   std::vector<Bytes> replies;
   const ScopedWipeEach replies_guard(replies);

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace ppds {
@@ -105,6 +106,60 @@ TEST(SecureWipe, WorksOnWiderElementTypes) {
   std::vector<long double> scratch(16, 3.25L);
   secure_wipe(std::span(scratch));
   for (long double x : scratch) EXPECT_EQ(x, 0.0L);
+}
+
+TEST(ScopedWipe, WipesOnNormalScopeExit) {
+  std::vector<std::uint8_t> buf(64, 0xAA);
+  {
+    const ScopedWipe guard(buf);
+    buf[0] = 0x42;  // mutation through the guarded container is fine
+  }
+  EXPECT_TRUE(std::all_of(buf.begin(), buf.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(ScopedWipe, WipesWhenScopeUnwindsThroughAnException) {
+  // The protocol relies on this: a faulty channel throws mid-round and the
+  // masked scratch must still leave zeroed memory behind.
+  std::vector<std::uint8_t> buf(64, 0xAA);
+  try {
+    const ScopedWipe guard(buf);
+    throw std::runtime_error("mid-protocol fault");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_TRUE(std::all_of(buf.begin(), buf.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(ScopedWipe, SeesElementsAddedAfterGuardConstruction) {
+  // Guards are declared BEFORE the buffers are filled (the OMPE pattern:
+  // declare scratch + guard, then grow it); the destructor must wipe the
+  // final contents, not a snapshot.
+  std::vector<double> buf;
+  {
+    const ScopedWipe guard(buf);
+    buf.assign(32, 1.5);
+  }
+  EXPECT_EQ(buf.size(), 32u);
+  EXPECT_TRUE(std::all_of(buf.begin(), buf.end(),
+                          [](double x) { return x == 0.0; }));
+}
+
+TEST(ScopedWipeEach, WipesEveryBufferOnExceptionUnwind) {
+  std::vector<std::vector<std::uint8_t>> buffers;
+  try {
+    const ScopedWipeEach guard(buffers);
+    buffers.emplace_back(32, std::uint8_t{0x11});
+    buffers.emplace_back(7, std::uint8_t{0x22});
+    buffers.emplace_back();  // empty element must not trip the wipe
+    throw std::runtime_error("ot round failed");
+  } catch (const std::runtime_error&) {
+  }
+  ASSERT_EQ(buffers.size(), 3u);
+  for (const auto& b : buffers) {
+    EXPECT_TRUE(std::all_of(b.begin(), b.end(),
+                            [](std::uint8_t v) { return v == 0; }));
+  }
 }
 
 TEST(SecureWipe, ObjectOverloadZeroesWholeObject) {

@@ -1,0 +1,22 @@
+// Seeded NEGATIVE fixture for secret_hygiene.py --self-test: a header-only
+// class that owns a secret-named buffer and never wipes it. There is no
+// companion .cpp with this stem, so the header itself owns the wipe duty and
+// missing-wipe must fire here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<std::uint8_t>;
+
+class HeaderOnlyKeystore {
+ public:
+  explicit HeaderOnlyKeystore(Bytes key) : session_key_(std::move(key)) {}
+  // BUG (seeded): inline destructor frees the buffer without wiping it.
+  ~HeaderOnlyKeystore() = default;
+
+  const Bytes& bytes() const { return session_key_; }
+
+ private:
+  Bytes session_key_;
+};

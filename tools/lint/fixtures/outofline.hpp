@@ -1,0 +1,19 @@
+// Seeded POSITIVE fixture for secret_hygiene.py --self-test: a header whose
+// class is implemented out of line. The companion outofline.cpp wipes the
+// buffer in the destructor, so missing-wipe must NOT fire on this header —
+// the companion-stem exemption is exactly what this pair pins down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<std::uint8_t>;
+
+class OutOfLineKeystore {
+ public:
+  explicit OutOfLineKeystore(Bytes key);
+  ~OutOfLineKeystore();  // wipes in outofline.cpp
+
+ private:
+  Bytes session_key_;  // MUST-NOT-FLAG
+};

@@ -1,0 +1,24 @@
+// Negative fixture for tools/lint/taint_analyzer.py — proves the analyzer
+// scans HEADERS: an annotated member root used by an inline method must
+// fire even though no .cpp is involved. NEVER compiled; purely textual.
+
+#pragma once
+
+struct KeystreamLike {
+  PPDS_SECRET unsigned long long state_;
+
+  // [secret-branch] ternary on the secret chaining state, header-inline.
+  int parity() const { return (state_ & 1ull) ? 1 : 0; }  // MUST-FLAG(secret-branch)
+
+  // [secret-index] header-inline secret-addressed lookup.
+  unsigned char pick(const unsigned char* table) const {
+    return table[state_ & 0xffull];  // MUST-FLAG(secret-index)
+  }
+
+  // Public metadata of the secret state stays silent.
+  unsigned long long rounds() const {
+    return counter_;  // MUST-NOT-FLAG
+  }
+
+  unsigned long long counter_ = 0;
+};

@@ -1,0 +1,119 @@
+// Negative fixture for tools/lint/taint_analyzer.py — timing rules.
+// NEVER compiled or linked: the analyzer is textual and PPDS_SECRET /
+// PPDS_DECLASSIFY need no definitions here. `--self-test` asserts that
+// every MUST-FLAG(<rule>) line fires exactly that rule and every
+// MUST-NOT-FLAG line stays silent.
+
+// [secret-branch] direct branch on an annotated local.
+int branch_on_secret() {
+  PPDS_SECRET int s = 7;
+  if (s > 3) {  // MUST-FLAG(secret-branch)
+    return 1;
+  }
+  return 0;
+}
+
+// [secret-branch] taint survives assignment and arithmetic before the test.
+int branch_after_hops(int pub) {
+  PPDS_SECRET int s = 9;
+  int mixed = s + pub;
+  int hop = mixed * 2;
+  switch (hop & 3) {  // MUST-FLAG(secret-branch)
+    default:
+      return 0;
+  }
+}
+
+// [secret-branch] ternary condition on a Secret<T> wrapper value.
+int ternary_on_secret() {
+  Secret<int> amp(5);
+  int v = amp.value();
+  return v > 0 ? 1 : -1;  // MUST-FLAG(secret-branch)
+}
+
+// [secret-branch] PPDS_DECLASSIFY blesses VALUE flows only: branching
+// directly inside the macro is still a timing leak and must fire.
+int branch_inside_declassify() {
+  PPDS_SECRET int s = -2;
+  if (PPDS_DECLASSIFY(s < 0, "not actually masked")) {  // MUST-FLAG(secret-branch)
+    return -1;
+  }
+  return 1;
+}
+
+// The sanctioned two-step reveal: declassify to a public bool, branch on
+// that. The assignment launders the taint, so the branch is public.
+int sanctioned_reveal() {
+  PPDS_SECRET int s = -2;
+  bool neg = PPDS_DECLASSIFY(s < 0, "sign is blinded by the mask argument");
+  if (neg) {  // MUST-NOT-FLAG
+    return -1;
+  }
+  return 1;
+}
+
+// [secret-loop-bound] classic Hamming-weight leak: trip count == popcount.
+int popcount_leak() {
+  PPDS_SECRET unsigned k = 0xdeadbeefu;
+  int n = 0;
+  while (k != 0u) {  // MUST-FLAG(secret-loop-bound)
+    k &= k - 1u;
+    ++n;
+  }
+  return n;
+}
+
+// [secret-loop-bound] for-loop bound derived from a secret.
+int secret_trip_count() {
+  PPDS_SECRET int rounds = 12;
+  int acc = 0;
+  for (int i = 0; i < rounds; ++i) {  // MUST-FLAG(secret-loop-bound)
+    acc += i;
+  }
+  return acc;
+}
+
+// Iterating a secret container with a PUBLIC length is fine: the range-for
+// itself must stay silent (the element values are tainted, the count is not).
+int public_length_walk() {
+  PPDS_SECRET int key_words[4] = {1, 2, 3, 4};
+  int acc = 0;
+  for (int w : key_words) {  // MUST-NOT-FLAG
+    acc ^= w;
+  }
+  if (acc != 0) {  // MUST-FLAG(secret-branch)
+    return 1;
+  }
+  return 0;
+}
+
+// [secret-index] table lookup addressed by key material (cache leak).
+int sbox_lookup(const unsigned char* table) {
+  PPDS_SECRET unsigned char k = 0x5a;
+  return table[k];  // MUST-FLAG(secret-index)
+}
+
+// Reading secret data at a PUBLIC index is not an indexed leak.
+int public_index_read(int i) {
+  PPDS_SECRET int key_words[4] = {1, 2, 3, 4};
+  int w = key_words[i];  // MUST-NOT-FLAG
+  return w ^ w;
+}
+
+// [secret-divmod] hardware division latency depends on operand values.
+int secret_dividend() {
+  PPDS_SECRET int s = 1234;
+  return s / 7;  // MUST-FLAG(secret-divmod)
+}
+
+int secret_modulus(int pub) {
+  PPDS_SECRET int s = 97;
+  return pub % s;  // MUST-FLAG(secret-divmod)
+}
+
+// Suppression coverage: would fire, but carries an inline allow.
+int suppressed_branch() {
+  PPDS_SECRET int s = 1;
+  if (s == 1) { return 2; }  // taint: allow(secret-branch) MUST-NOT-FLAG
+  return 0;
+}

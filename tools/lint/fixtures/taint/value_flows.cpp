@@ -1,0 +1,114 @@
+// Negative fixture for tools/lint/taint_analyzer.py — value flows: sinks,
+// declassification, sanitizers, call summaries, write-through and span
+// aliases. NEVER compiled or linked; purely textual.
+
+// [secret-sink] annotated parameter straight into a wire send.
+void leak_param(Channel& channel, PPDS_SECRET const Bytes& session_key) {
+  channel.send(session_key);  // MUST-FLAG(secret-sink)
+}
+
+// [secret-sink] printf-family format sink.
+void leak_printf() {
+  PPDS_SECRET unsigned long long s = 42;
+  printf("s=%llu\n", s);  // MUST-FLAG(secret-sink)
+}
+
+// [secret-sink] iostream sink.
+void leak_stream() {
+  PPDS_SECRET int s = 9;
+  std::cout << s;  // MUST-FLAG(secret-sink)
+}
+
+// Declassified sends are the sanctioned exit and stay silent.
+void blinded_send(Channel& channel) {
+  PPDS_SECRET int s = 5;
+  channel.send(PPDS_DECLASSIFY(s ^ 0x55, "one-time-pad masked"));  // MUST-NOT-FLAG
+}
+
+// Sanitizers launder taint: a hash of a secret is safe to transmit.
+void hashed_send(Channel& channel) {
+  PPDS_SECRET Bytes seed_material = make();
+  channel.send(sha256(seed_material));  // MUST-NOT-FLAG
+}
+
+// Projections reveal only public metadata of a secret container.
+void public_metadata(Channel& channel) {
+  PPDS_SECRET Bytes pad = make();
+  if (pad.size() > 16) {  // MUST-NOT-FLAG
+    channel.send(pad.size());  // MUST-NOT-FLAG
+  }
+}
+
+// [secret-sink] one level of call summaries: the callee returns a tainted
+// value, so the caller's local is tainted without any annotation here.
+int derive_subkey() {
+  PPDS_SECRET int master = 77;
+  return master * 3;
+}
+
+void summary_leak(Channel& channel) {
+  int sub = derive_subkey();
+  channel.send(sub);  // MUST-FLAG(secret-sink)
+}
+
+// [secret-sink] write-through helper: serializing a secret into a buffer
+// taints the buffer, which then reaches the wire.
+void writethrough_leak(Channel& channel) {
+  PPDS_SECRET unsigned long long k = 11;
+  unsigned char buf[8];
+  store_le64(buf, k);
+  channel.send(buf);  // MUST-FLAG(secret-sink)
+}
+
+// [secret-sink] span alias: a view returned by append_raw writes through to
+// the owning writer, so sending the writer's bytes leaks the secret.
+void alias_leak(Channel& channel, ByteWriter& w) {
+  PPDS_SECRET unsigned long long k = 13;
+  auto body = w.append_raw(8);
+  store_le64(body, k);
+  channel.send(w.take());  // MUST-FLAG(secret-sink)
+}
+
+// Member roots declared in a struct: names ending in '_' taint bare uses.
+struct PrgLike {
+  PPDS_SECRET unsigned char seed_[32];
+  unsigned char out_[32];
+};
+
+// [secret-branch] bare member-root use inside any function in the tree.
+int member_root_branch(PrgLike& prg) {
+  if (prg.seed_[0] != 0) {  // MUST-FLAG(secret-branch)
+    return 1;
+  }
+  return 0;
+}
+
+// Field roots (no trailing underscore) taint only field accesses.
+struct SlotLike {
+  PPDS_SECRET unsigned r0;
+  PPDS_SECRET unsigned r1;
+};
+
+int field_root_branch(const SlotLike& slot) {
+  if (slot.r0 != slot.r1) {  // MUST-FLAG(secret-branch)
+    return 1;
+  }
+  // A plain variable that happens to share the field name is NOT tainted.
+  int r0 = 3;
+  return r0;  // MUST-NOT-FLAG
+}
+
+// Receiver tainting: feeding a secret into a builder taints the builder.
+void builder_leak(Channel& channel) {
+  PPDS_SECRET int s = 21;
+  ByteWriter w;
+  w.write_i32(s);
+  channel.send(w.take());  // MUST-FLAG(secret-sink)
+}
+
+// File-wide suppression coverage: allow-file silences a whole rule here.
+// taint: allow-file(secret-divmod)
+int sanctioned_divmod() {
+  PPDS_SECRET int s = 31;
+  return s / 3;  // MUST-NOT-FLAG
+}

@@ -15,10 +15,15 @@ arguments even when the protocol itself is correct:
                    secret, seed, pad) — same timing leak as memcmp.
   secret-stream    std::cout/std::cerr/printf of a secret-named value — key
                    material must never reach logs or consoles.
-  missing-wipe     a .cpp file that declares an owning secret-named buffer
+  missing-wipe     a file that declares an owning secret-named buffer
                    (Bytes/Digest/uint8_t arrays named *key*, *secret*,
                    *seed*, *pad*) but never calls secure_wipe — dead-store
-                   elimination leaves the bytes in freed memory.
+                   elimination leaves the bytes in freed memory. Applies to
+                   every .cpp, and to any HEADER without a companion .cpp of
+                   the same stem: a header whose class is implemented out of
+                   line delegates wiping to its .cpp destructor (which this
+                   rule checks there), but a header-ONLY class must wipe in
+                   its inline destructor.
   abort-without-wipe
                    a .cpp file that defines an abort() method but neither
                    calls secure_wipe nor delegates to another abort() —
@@ -92,8 +97,9 @@ LINE_RULES = [
     ),
 ]
 
-# File-level rule (applied to .cpp files only; headers declare members that
-# their .cpp wipes in a destructor).
+# File-level rule (every .cpp, plus headers WITHOUT a companion .cpp of the
+# same stem — out-of-line classes wipe in their .cpp destructor, but a
+# header-only class has nowhere else to do it).
 SECRET_DECL = re.compile(
     r"\b(?:Bytes|Digest|std::array<\s*std::uint8_t|std::uint8_t)\b[^;=\n(){]*\b"
     + SECRET_NAME
@@ -112,7 +118,9 @@ def strip_strings(line: str) -> str:
     return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
 
 
-def find_violations(path: Path, text: str) -> list[tuple[Path, int, str, str]]:
+def find_violations(
+    path: Path, text: str, cpp_stems: frozenset[str] = frozenset()
+) -> list[tuple[Path, int, str, str]]:
     lines = text.splitlines()
     file_allowed = {m.group(1) for m in ALLOW_FILE.finditer(text)}
     out = []
@@ -131,7 +139,11 @@ def find_violations(path: Path, text: str) -> list[tuple[Path, int, str, str]]:
             if pattern.search(code):
                 out.append((path, i + 1, rule, message))
 
-    if path.suffix in {".cpp", ".cc", ".cxx"} and "missing-wipe" not in file_allowed:
+    is_tu = path.suffix in {".cpp", ".cc", ".cxx"}
+    # A header with a companion TU delegates wiping to that TU's destructor
+    # (scanned on its own); a header-only file owns the wipe duty itself.
+    owns_wipe_duty = is_tu or path.stem not in cpp_stems
+    if owns_wipe_duty and "missing-wipe" not in file_allowed:
         decl_line = None
         for i, raw in enumerate(lines):
             code = strip_strings(raw)
@@ -176,7 +188,9 @@ def find_violations(path: Path, text: str) -> list[tuple[Path, int, str, str]]:
     return out
 
 
-def scan_paths(paths: list[Path]) -> list[tuple[Path, int, str, str]]:
+def scan_paths(
+    paths: list[Path], cpp_stems: frozenset[str] = frozenset()
+) -> list[tuple[Path, int, str, str]]:
     violations = []
     for path in paths:
         try:
@@ -184,8 +198,19 @@ def scan_paths(paths: list[Path]) -> list[tuple[Path, int, str, str]]:
         except OSError as exc:
             print(f"secret_hygiene: cannot read {path}: {exc}", file=sys.stderr)
             sys.exit(2)
-        violations.extend(find_violations(path, text))
+        violations.extend(find_violations(path, text, cpp_stems))
     return violations
+
+
+def companion_stems(root: Path, extra: list[Path]) -> frozenset[str]:
+    """Stems of every TU in the scan tree (plus any explicitly given), so a
+    header can be matched with its out-of-line implementation even when only
+    the header is being scanned."""
+    stems = {p.stem for p in extra if p.suffix in {".cpp", ".cc", ".cxx"}}
+    stems.update(
+        p.stem for p in collect_files(root) if p.suffix in {".cpp", ".cc", ".cxx"}
+    )
+    return frozenset(stems)
 
 
 def collect_files(root: Path) -> list[Path]:
@@ -202,11 +227,16 @@ def collect_files(root: Path) -> list[Path]:
 
 def self_test(root: Path) -> int:
     fixture_dir = root / "tools" / "lint" / "fixtures"
-    fixtures = sorted(fixture_dir.glob("*.cpp"))
+    fixtures = sorted(fixture_dir.glob("*.cpp")) + sorted(fixture_dir.glob("*.hpp"))
     if not fixtures:
         print(f"secret_hygiene: no fixtures under {fixture_dir}", file=sys.stderr)
         return 2
-    violations = scan_paths(fixtures)
+    # Companion matching is tested against the FIXTURE set only (a fixture
+    # header must not be excused by a same-stem file in the real tree).
+    fixture_stems = frozenset(
+        p.stem for p in fixtures if p.suffix in {".cpp", ".cc", ".cxx"}
+    )
+    violations = scan_paths(fixtures, fixture_stems)
     fired = {rule for (_, _, rule, _) in violations}
     expected = {rule for rule, _, _ in LINE_RULES} | {
         "missing-wipe",
@@ -256,7 +286,8 @@ def main() -> int:
     if not files:
         print("secret_hygiene: nothing to scan", file=sys.stderr)
         return 2
-    violations = scan_paths([Path(p) for p in files])
+    paths = [Path(p) for p in files]
+    violations = scan_paths(paths, companion_stems(args.root, paths))
     for path, lineno, rule, message in violations:
         try:
             shown = path.relative_to(args.root)
