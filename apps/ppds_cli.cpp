@@ -1,0 +1,122 @@
+/// ppds-cli — thin client for a running ppdsd.
+///
+/// Connects, runs one or more protocol sessions on the keep-alive
+/// connection, prints the results, and says goodbye. The --scenario/--seed
+/// pair must match the daemon's or the handshake digest check denies the
+/// session (that denial is itself a useful smoke test).
+///
+///   ppds-cli --connect tcp:127.0.0.1:7441 classify --count 8
+///   ppds-cli --connect unix:/tmp/ppds.sock similarity
+///   ppds-cli --connect ... classify --count 4 similarity   # two sessions
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ppds/net/socket.hpp"
+#include "ppds/server/client.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --connect tcp:<host>:<port>|unix:<path>\n"
+      "          [--scenario <spec>] [--seed N] [--rng N]\n"
+      "          [--recv-timeout-ms N] <command>...\n"
+      "commands:\n"
+      "  classify [--count N]   classify N held-out samples (default 4)\n"
+      "  similarity             evaluate model similarity T\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ppds;
+
+  std::string connect;
+  std::string scenario_text = "diabetes:linear:fast";
+  std::uint64_t seed = 1;
+  std::uint64_t rng_seed = 42;
+  std::chrono::milliseconds recv_timeout{30000};
+
+  struct Command {
+    std::string kind;
+    std::size_t count = 4;
+  };
+  std::vector<Command> commands;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ppds-cli: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      connect = next();
+    } else if (arg == "--scenario") {
+      scenario_text = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--rng") {
+      rng_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--recv-timeout-ms") {
+      recv_timeout =
+          std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "classify") {
+      commands.push_back({"classify", 4});
+    } else if (arg == "similarity") {
+      commands.push_back({"similarity", 0});
+    } else if (arg == "--count" && !commands.empty() &&
+               commands.back().kind == "classify") {
+      commands.back().count = std::strtoull(next(), nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (connect.empty() || commands.empty()) return usage(argv[0]);
+
+  try {
+    const server::Scenario scenario =
+        server::Scenario::make(scenario_text, seed);
+    Rng rng(rng_seed);
+
+    auto channel = net::socket_connect(net::SocketAddress::parse(connect));
+    channel->set_recv_deadline(net::Deadline::after(recv_timeout));
+
+    for (const Command& cmd : commands) {
+      if (cmd.kind == "classify") {
+        const std::size_t count =
+            std::min(cmd.count, scenario.queries.size());
+        const std::vector<std::vector<double>> samples(
+            scenario.queries.begin(),
+            scenario.queries.begin() + static_cast<std::ptrdiff_t>(count));
+        const std::vector<int> labels =
+            server::client_classify(*channel, scenario, samples, rng);
+        std::printf("classify (%zu samples):", count);
+        std::size_t agree = 0;
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          std::printf(" %+d", labels[i]);
+          agree += labels[i] ==
+                   scenario.server_model.predict(samples[i]);
+        }
+        std::printf("  [%zu/%zu match the plain model]\n", agree,
+                    labels.size());
+      } else {
+        const double t = server::client_similarity(*channel, scenario, rng);
+        std::printf("similarity: T = %.6f\n", t);
+      }
+    }
+    server::client_goodbye(*channel);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppds-cli: %s\n", e.what());
+    return 1;
+  }
+}

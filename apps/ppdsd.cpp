@@ -1,0 +1,130 @@
+/// ppdsd — the privacy-preserving classification / similarity daemon.
+///
+/// Listens on a TCP or unix-domain socket and serves protocol sessions to
+/// any number of keep-alive client connections (see ppds-cli). Both ends
+/// must be started with the SAME --scenario and --seed so the handshake
+/// digests agree (docs/PROTOCOL.md §8.3).
+///
+///   ppdsd --listen tcp:127.0.0.1:7441 --scenario diabetes:linear:fast
+///   ppdsd --listen unix:/tmp/ppds.sock --workers 8
+///
+/// SIGTERM / SIGINT drain gracefully: the listener closes, in-flight
+/// sessions finish under their deadlines, and the exit banner reports the
+/// session counters plus the OT abort audit (aborts == wiped means every
+/// failed session provably zeroed its pad pools).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "ppds/crypto/ot.hpp"
+#include "ppds/server/daemon.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--listen tcp:<host>:<port>|unix:<path>]\n"
+      "          [--scenario <dataset>[:linear|:poly][:fast|:precomputed|"
+      ":secure]]\n"
+      "          [--seed N] [--workers N] [--idle-timeout-ms N]\n"
+      "          [--recv-timeout-ms N] [--max-queries N]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ppds;
+
+  std::string listen = "tcp:127.0.0.1:7441";
+  std::string scenario_text = "diabetes:linear:fast";
+  std::uint64_t seed = 1;
+  server::DaemonOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ppdsd: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      listen = next();
+    } else if (arg == "--scenario") {
+      scenario_text = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--workers") {
+      options.workers = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout = std::chrono::milliseconds(
+          std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--recv-timeout-ms") {
+      options.recv_timeout = std::chrono::milliseconds(
+          std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--max-queries") {
+      options.max_queries = std::strtoull(next(), nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    options.address = net::SocketAddress::parse(listen);
+    options.rng_seed = splitmix64(seed, 0xdae0);
+
+    std::printf("ppdsd: building scenario %s (seed %llu)...\n",
+                scenario_text.c_str(),
+                static_cast<unsigned long long>(seed));
+    server::Scenario scenario = server::Scenario::make(scenario_text, seed);
+
+    server::Daemon daemon(std::move(scenario), options);
+    daemon.start();
+    std::printf("ppdsd: serving %s on %s with %zu workers\n",
+                daemon.scenario().spec.to_string().c_str(),
+                daemon.address().to_string().c_str(), options.workers);
+    std::fflush(stdout);
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    std::printf("ppdsd: draining...\n");
+    daemon.stop();
+
+    const server::DaemonStats& s = daemon.stats();
+    const crypto::OtAbortAudit& audit = crypto::ot_abort_audit();
+    std::printf(
+        "ppdsd: %llu connections (%llu clean, %llu reaped), "
+        "%llu sessions ok, %llu failed\n",
+        static_cast<unsigned long long>(s.connections_accepted.load()),
+        static_cast<unsigned long long>(s.connections_closed.load()),
+        static_cast<unsigned long long>(s.connections_reaped.load()),
+        static_cast<unsigned long long>(s.sessions_ok.load()),
+        static_cast<unsigned long long>(s.sessions_failed.load()));
+    std::printf(
+        "ppdsd: ot abort audit: %llu aborts, %llu wiped clean%s\n",
+        static_cast<unsigned long long>(audit.aborts.load()),
+        static_cast<unsigned long long>(audit.wiped.load()),
+        audit.aborts.load() == audit.wiped.load() ? " (all pools zeroed)"
+                                                  : " (WIPE FAILURE)");
+    return audit.aborts.load() == audit.wiped.load() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppdsd: %s\n", e.what());
+    return 1;
+  }
+}

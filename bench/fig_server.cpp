@@ -1,0 +1,177 @@
+/// Saturation benchmark for ppdsd — sessions/sec and latency percentiles
+/// vs concurrent connection count over real loopback TCP.
+///
+/// Methodology:
+///  * one in-process Daemon (fixed worker pool) on an ephemeral loopback
+///    port — everything crosses the kernel socket layer, nothing crosses a
+///    NIC, so the numbers isolate the daemon's multiplexing overhead;
+///  * each connection runs complete classification sessions (service
+///    select + handshake + one OMPE query) back to back, keep-alive;
+///  * per-SESSION latency is measured client-side around the whole
+///    session; throughput is total completed sessions over the slowest
+///    client's wall time;
+///  * the fast preset (loopback OT) keeps the protocol math small so the
+///    daemon — not the crypto — saturates first; the secure engines are
+///    characterized separately (ablation_ot_engines).
+///
+/// Results land in BENCH_server.json (schema: docs/PERFORMANCE.md §5).
+/// Flags: --quick shrinks the sweep and per-connection session count (CI
+/// smoke); the JSON records which mode produced it.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ppds/common/stopwatch.hpp"
+#include "ppds/net/socket.hpp"
+#include "ppds/server/client.hpp"
+#include "ppds/server/daemon.hpp"
+
+namespace {
+
+using namespace ppds;
+
+constexpr std::size_t kWorkers = 8;
+
+struct Row {
+  std::size_t connections = 0;
+  std::size_t sessions = 0;
+  double wall_ms = 0.0;
+  double sessions_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+/// One sweep point: \p connections keep-alive clients, each running
+/// \p sessions_per_conn classification sessions back to back.
+Row measure(const server::Daemon& daemon, const server::Scenario& scenario,
+            std::size_t connections, std::size_t sessions_per_conn) {
+  std::vector<std::vector<double>> latencies(connections);
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  Stopwatch wall;
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        auto channel = net::socket_connect(
+            daemon.address(), {},
+            net::Deadline::after(std::chrono::milliseconds{10000}));
+        channel->set_recv_deadline(
+            net::Deadline::after(std::chrono::milliseconds{120000}));
+        Rng rng(1000 + c);
+        const std::vector<std::vector<double>> sample = {
+            scenario.queries[c % scenario.queries.size()]};
+        latencies[c].reserve(sessions_per_conn);
+        for (std::size_t s = 0; s < sessions_per_conn; ++s) {
+          Stopwatch session;
+          (void)server::client_classify(*channel, scenario, sample, rng);
+          latencies[c].push_back(session.millis());
+        }
+        server::client_goodbye(*channel);
+      } catch (const std::exception& e) {
+        failures.fetch_add(1);
+        std::fprintf(stderr, "client %zu failed: %s\n", c, e.what());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  Row row;
+  row.connections = connections;
+  row.wall_ms = wall.millis();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "%zu of %zu clients failed; row discarded\n",
+                 failures.load(), connections);
+    return row;
+  }
+  std::vector<double> all;
+  for (const auto& per_conn : latencies) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  std::sort(all.begin(), all.end());
+  row.sessions = all.size();
+  row.sessions_per_sec =
+      static_cast<double>(all.size()) / (row.wall_ms / 1000.0);
+  row.p50_ms = percentile(all, 0.50);
+  row.p99_ms = percentile(all, 0.99);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = ppds::bench::has_flag(argc, argv, "--quick");
+  const std::string spec = "diabetes:linear:fast";
+
+  bench::banner("ppdsd saturation: sessions/sec vs concurrent connections");
+  bench::note("loopback TCP, " + std::to_string(kWorkers) +
+              " workers, one 1-query classification session per latency "
+              "sample, fast preset (loopback OT)");
+
+  const server::Scenario scenario = server::Scenario::make(spec, 2030);
+  server::DaemonOptions options;
+  options.address = net::SocketAddress::tcp("127.0.0.1", 0);
+  options.workers = kWorkers;
+  options.recv_timeout = std::chrono::milliseconds{60000};
+  options.idle_timeout = std::chrono::milliseconds{60000};
+  server::Daemon daemon(scenario, options);
+  daemon.start();
+
+  const std::vector<std::size_t> sweep =
+      quick ? std::vector<std::size_t>{1, 4, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64};
+  const std::size_t sessions_per_conn = quick ? 10 : 40;
+
+  std::printf("%12s %10s %10s %14s %9s %9s\n", "connections", "sessions",
+              "wall_ms", "sessions/sec", "p50_ms", "p99_ms");
+  bench::rule(68);
+
+  auto rows = bench::Json::array();
+  for (const std::size_t connections : sweep) {
+    const Row row = measure(daemon, scenario, connections, sessions_per_conn);
+    std::printf("%12zu %10zu %10.1f %14.1f %9.3f %9.3f\n", row.connections,
+                row.sessions, row.wall_ms, row.sessions_per_sec, row.p50_ms,
+                row.p99_ms);
+    auto j = bench::Json::object();
+    j.set("connections", static_cast<std::uint64_t>(row.connections));
+    j.set("sessions", static_cast<std::uint64_t>(row.sessions));
+    j.set("wall_ms", row.wall_ms);
+    j.set("sessions_per_sec", row.sessions_per_sec);
+    j.set("p50_ms", row.p50_ms);
+    j.set("p99_ms", row.p99_ms);
+    rows.push(std::move(j));
+  }
+
+  daemon.stop();
+  const auto& stats = daemon.stats();
+  std::printf("\ndaemon totals: %llu accepted, %llu sessions ok, %llu "
+              "failed, %llu reaped\n",
+              static_cast<unsigned long long>(
+                  stats.connections_accepted.load()),
+              static_cast<unsigned long long>(stats.sessions_ok.load()),
+              static_cast<unsigned long long>(stats.sessions_failed.load()),
+              static_cast<unsigned long long>(stats.connections_reaped.load()));
+
+  auto doc = bench::Json::object();
+  doc.set("bench", "fig_server");
+  doc.set("quick", quick);
+  doc.set("scenario", spec);
+  doc.set("workers", static_cast<std::uint64_t>(kWorkers));
+  doc.set("sessions_per_connection",
+          static_cast<std::uint64_t>(sessions_per_conn));
+  doc.set("sessions_ok", stats.sessions_ok.load());
+  doc.set("sessions_failed", stats.sessions_failed.load());
+  doc.set("rows", std::move(rows));
+  doc.write_file("BENCH_server.json");
+  return stats.sessions_failed.load() == 0 ? 0 : 1;
+}

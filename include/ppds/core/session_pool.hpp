@@ -49,10 +49,22 @@ struct RetryPolicy {
   double jitter = 0.0;
 };
 
+/// Which wire a pool's per-session channels run over.
+enum class TransportKind {
+  kInProcess,   ///< simulated duplex queues (net::make_channel)
+  kSocketPair,  ///< real AF_UNIX stream sockets (net::make_socket_pair)
+};
+
 /// Transport configuration of the per-session channels a pool creates:
 /// queue bounds and latency model, a receive deadline, optional
 /// deterministic fault injection (chaos tests), and the retry policy.
 struct TransportOptions {
+  /// kSocketPair moves every frame through the kernel instead of the
+  /// in-process queues — same framing, same validation, same fault-decision
+  /// streams (net::FaultEngine), so the whole chaos matrix reruns over real
+  /// file descriptors by flipping this one knob. `channel` queue bounds and
+  /// latency then do not apply (the kernel socket buffer is the queue).
+  TransportKind kind = TransportKind::kInProcess;
   net::ChannelOptions channel;
   /// recv() deadline measured from session-attempt start; zero blocks
   /// forever. A silent peer (e.g. its frame was dropped) then surfaces as

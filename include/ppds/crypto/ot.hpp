@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -220,6 +221,19 @@ std::vector<PrecomputedSendSlot> precompute_ot_sender(
 std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
     net::Endpoint& channel, NaorPinkasReceiver& receiver, std::size_t count,
     std::size_t pad_len, Rng& rng);
+
+/// Process-wide abort-and-wipe audit. Every BatchedOt{Sender,Receiver}::
+/// abort() increments `aborts` and — when the post-wipe pool_wiped() scan
+/// comes back clean — `wiped`. A supervisor (the daemon tests, an operator
+/// reading ppdsd's shutdown stats) asserts wiped == aborts to PROVE that
+/// every mid-protocol failure in the process zeroed its pad pools, without
+/// reaching into engines owned by other threads' dead sessions.
+struct OtAbortAudit {
+  std::atomic<std::uint64_t> aborts{0};
+  std::atomic<std::uint64_t> wiped{0};
+};
+
+OtAbortAudit& ot_abort_audit();
 
 /// --- Batched session facade --------------------------------------------------
 ///

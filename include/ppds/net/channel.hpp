@@ -81,6 +81,20 @@ class Deadline {
   bool is_never() const { return !at_.has_value(); }
   std::chrono::steady_clock::time_point at() const { return *at_; }
 
+  /// Milliseconds left before the deadline (clamped at zero once expired);
+  /// nullopt for a never-expiring deadline. Socket transports feed this to
+  /// poll(2); diagnostics report it as the remaining budget.
+  std::optional<std::chrono::milliseconds> remaining() const {
+    if (!at_.has_value()) return std::nullopt;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        *at_ - std::chrono::steady_clock::now());
+    return left.count() > 0 ? left : std::chrono::milliseconds{0};
+  }
+
+  bool expired() const {
+    return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
+  }
+
  private:
   std::optional<std::chrono::steady_clock::time_point> at_;
 };
@@ -114,10 +128,14 @@ class Pipe {
         throw ProtocolError("send on closed channel");
       }
       if (queued_bytes_ + frame.payload.size() > max_bytes_) {
+        // Diagnosable from the log alone: the offending frame, the depth of
+        // the undrained queue, and the configured cap.
         throw BackpressureError(
-            "channel queue over byte cap (" +
-            std::to_string(queued_bytes_ + frame.payload.size()) + " > " +
-            std::to_string(max_bytes_) + "); peer is not draining");
+            "channel queue over byte cap: sending " +
+            std::to_string(frame.payload.size()) + "-byte frame onto " +
+            std::to_string(queue_.size()) + " queued frames (" +
+            std::to_string(queued_bytes_) + " bytes) would exceed the " +
+            std::to_string(max_bytes_) + "-byte limit; peer is not draining");
       }
       queued_bytes_ += frame.payload.size();
       queue_.push_back(std::move(frame));
@@ -126,12 +144,22 @@ class Pipe {
   }
 
   Frame pop(const Deadline& deadline) {
+    const auto start = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(mu_);
     const auto ready = [&] { return !queue_.empty() || closed_; };
     if (deadline.is_never()) {
       cv_.wait(lock, ready);
     } else if (!cv_.wait_until(lock, deadline.at(), ready)) {
-      throw TimeoutError("recv deadline exceeded; peer silent");
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start);
+      const auto budget =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline.at() - start);
+      throw TimeoutError("recv deadline exceeded after " +
+                         std::to_string(elapsed.count()) + " ms (budget at "
+                         "entry " + std::to_string(budget.count()) +
+                         " ms, queue empty); peer silent");
     }
     if (queue_.empty()) {
       throw ProtocolError("channel closed by peer");
@@ -185,6 +213,12 @@ struct Link {
 /// the way out, fetch() on the way in — so decorators (FaultyEndpoint)
 /// inject faults BELOW the framing layer, where a real network corrupts
 /// traffic, and the validation above catches them.
+///
+/// The same hooks make the TRANSPORT pluggable: a subclass constructed
+/// through the protected default constructor owns no in-process link and
+/// instead moves real bytes in deliver()/fetch() (net/socket.hpp). All the
+/// framing, validation, deadline, stats and transcript machinery above the
+/// hooks is shared verbatim between the in-process and the socket paths.
 class Endpoint {
  public:
   Endpoint(std::shared_ptr<detail::Link> link, bool is_a)
@@ -197,7 +231,10 @@ class Endpoint {
   Endpoint(Endpoint&&) = default;
 
   virtual ~Endpoint() {
-    if (link_) close();
+    if (link_) {
+      link_->a_to_b.close();
+      link_->b_to_a.close();
+    }
   }
 
   /// Sends one framed message to the peer. Throws BackpressureError when the
@@ -212,6 +249,9 @@ class Endpoint {
     frame.header.session_id = session_id_;
     frame.header.checksum = frame_checksum(frame.header, payload);
     frame.payload = std::move(payload);
+    if (transcript_enabled_) {
+      sent_transcript_ = fold_transcript(sent_transcript_, frame.payload);
+    }
     deliver(std::move(frame));
     // Committed only on success: a send refused by backpressure (or a
     // closed channel) consumes no sequence number, so the channel stays
@@ -220,7 +260,9 @@ class Endpoint {
     stats_.messages += 1;
     stats_.bytes += payload_bytes;
     stats_.overhead_bytes += kFrameHeaderBytes;
-    stats_.simulated_wire_us += link_->latency.cost_us(payload_bytes);
+    if (link_) {
+      stats_.simulated_wire_us += link_->latency.cost_us(payload_bytes);
+    }
   }
 
   /// Blocks until the peer's next message arrives or \p deadline expires
@@ -232,6 +274,9 @@ class Endpoint {
     detail::Frame frame = fetch(deadline);
     validate(frame);
     ++recv_seq_;
+    if (transcript_enabled_) {
+      recv_transcript_ = fold_transcript(recv_transcript_, frame.payload);
+    }
     return std::move(frame.payload);
   }
 
@@ -239,7 +284,7 @@ class Endpoint {
 
   /// Closes the whole link (both directions). Messages already queued still
   /// drain; after that every recv() throws ProtocolError, as does any send.
-  void close() {
+  virtual void close() {
     require_live();
     link_->a_to_b.close();
     link_->b_to_a.close();
@@ -256,11 +301,28 @@ class Endpoint {
 
   /// Default deadline applied by recv() without an explicit one.
   void set_recv_deadline(Deadline deadline) { recv_deadline_ = deadline; }
+  const Deadline& recv_deadline() const { return recv_deadline_; }
 
   const TrafficStats& stats() const { return stats_; }
   void reset_stats() { stats_ = TrafficStats{}; }
 
+  /// Opt-in payload-transcript digests: when enabled, every payload this
+  /// endpoint sends (recvs) is folded — in order, headers excluded — into a
+  /// 64-bit running digest. Two endpoints that exchanged bit-identical
+  /// payload sequences report equal digests, which is how the tests prove
+  /// the socket transport carries the SAME protocol transcript as the
+  /// in-process channel. Off by default: folding costs a full pass over
+  /// every payload (OMPE requests run to tens of MB).
+  void enable_transcript(bool on) { transcript_enabled_ = on; }
+  void reset_transcript() { sent_transcript_ = recv_transcript_ = 0; }
+  std::uint64_t sent_transcript() const { return sent_transcript_; }
+  std::uint64_t recv_transcript() const { return recv_transcript_; }
+
  protected:
+  /// Transport-subclass constructor: no in-process link; the subclass moves
+  /// real bytes in its deliver()/fetch()/close() overrides and reports its
+  /// own liveness via transport_live().
+  Endpoint() : link_(nullptr), is_a_(true) {}
   /// Hands a stamped frame to the outgoing pipe. Decorators override this to
   /// drop/duplicate/corrupt/delay traffic below the framing layer.
   virtual void deliver(detail::Frame&& frame) {
@@ -276,13 +338,26 @@ class Endpoint {
   detail::Pipe& outgoing() { return is_a_ ? link_->a_to_b : link_->b_to_a; }
   detail::Pipe& incoming() { return is_a_ ? link_->b_to_a : link_->a_to_b; }
 
+  /// Whether this endpoint still has a transport behind it. The in-process
+  /// default is "the link was not moved away"; socket endpoints override.
+  virtual bool transport_live() const { return link_ != nullptr; }
+
   void require_live() const {
-    if (!link_) {
-      throw ProtocolError("use of moved-from endpoint");
+    if (!transport_live()) {
+      throw ProtocolError("use of moved-from or torn-down endpoint");
     }
   }
 
  private:
+  /// Order-sensitive payload fold for the transcript digests: the payload
+  /// bytes are checksummed under a fixed all-defaults header (so seq /
+  /// stage / session differences between transports cannot leak in) and
+  /// chained through SplitMix64.
+  static std::uint64_t fold_transcript(std::uint64_t acc,
+                                       const Bytes& payload) {
+    return splitmix64(acc, frame_checksum(FrameHeader{}, payload));
+  }
+
   void validate(const detail::Frame& frame) const {
     const FrameHeader& h = frame.header;
     if (h.version != kFrameVersion) {
@@ -324,6 +399,9 @@ class Endpoint {
   std::uint32_t send_seq_ = 0;
   std::uint32_t recv_seq_ = 0;
   Deadline recv_deadline_;
+  bool transcript_enabled_ = false;
+  std::uint64_t sent_transcript_ = 0;
+  std::uint64_t recv_transcript_ = 0;
 };
 
 /// Creates a connected endpoint pair (first = party A / sender side by

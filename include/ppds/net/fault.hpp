@@ -3,9 +3,11 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <thread>
 #include <utility>
 
+#include "ppds/common/ct.hpp"
 #include "ppds/common/rng.hpp"
 #include "ppds/net/channel.hpp"
 
@@ -46,18 +48,40 @@ struct FaultSpec {
   }
 };
 
-/// Endpoint decorator that injects faults into the frames this party sends.
-/// Construct by moving the clean endpoint in; use it exactly like the
-/// original (the protocol code never knows).
-class FaultyEndpoint final : public Endpoint {
+/// The seeded fault-decision machine, factored out of FaultyEndpoint so
+/// every transport can perturb its outgoing frames with IDENTICAL,
+/// seed-reproducible decision streams: the in-process decorator below wraps
+/// it around Endpoint::deliver, and SocketEndpoint (net/socket.hpp) wires
+/// it in front of its wire serializer — the "socket-level fault shim" the
+/// chaos suite runs over real file descriptors.
+///
+/// apply() consumes one frame and hands 0..3 frames (drop / duplicate /
+/// held-back reorder) to \p emit; \p disconnect is invoked instead when the
+/// link must be torn down with the frame. The draw order per frame is fixed
+/// (disconnect, drop, delay, bit-flip, truncate, duplicate, reorder), so a
+/// given (FaultSpec, seed) perturbs the same frames in the same way on
+/// every transport.
+class FaultEngine {
  public:
-  FaultyEndpoint(Endpoint&& clean, const FaultSpec& spec, std::uint64_t seed)
-      : Endpoint(std::move(clean)), spec_(spec), seed_(seed) {}
+  FaultEngine() = default;
+  FaultEngine(const FaultSpec& spec, std::uint64_t seed)
+      : spec_(spec), seed_(seed) {}
 
- protected:
-  void deliver(detail::Frame&& frame) override {
+  ~FaultEngine() {
+    // A held-back frame can carry pads/masked evaluations; do not leave
+    // them in freed heap pages.
+    if (held_.has_value()) secure_wipe(std::span(held_->payload));
+  }
+
+  FaultEngine(const FaultEngine&) = delete;
+  FaultEngine& operator=(const FaultEngine&) = delete;
+
+  bool active() const { return spec_.any(); }
+
+  template <typename Emit, typename Disconnect>
+  void apply(detail::Frame&& frame, Emit&& emit, Disconnect&& disconnect) {
     if (roll(spec_.disconnect)) {
-      close();  // the frame is lost with the link
+      disconnect();  // the frame is lost with the link
       return;
     }
     if (roll(spec_.drop)) {
@@ -78,12 +102,12 @@ class FaultyEndpoint final : public Endpoint {
       held_ = std::move(frame);  // delivered behind the NEXT frame
       return;
     }
-    Endpoint::deliver(detail::Frame(frame));
+    emit(detail::Frame(frame));
     if (dup) {
-      Endpoint::deliver(detail::Frame(frame));
+      emit(detail::Frame(frame));
     }
     if (held_.has_value()) {
-      Endpoint::deliver(std::move(*held_));
+      emit(std::move(*held_));
       held_.reset();
     }
   }
@@ -99,9 +123,29 @@ class FaultyEndpoint final : public Endpoint {
   }
 
   FaultSpec spec_;
-  std::uint64_t seed_;
+  std::uint64_t seed_ = 0;
   std::uint64_t n_ = 0;
   std::optional<detail::Frame> held_;
+};
+
+/// Endpoint decorator that injects faults into the frames this party sends.
+/// Construct by moving the clean endpoint in; use it exactly like the
+/// original (the protocol code never knows).
+class FaultyEndpoint final : public Endpoint {
+ public:
+  FaultyEndpoint(Endpoint&& clean, const FaultSpec& spec, std::uint64_t seed)
+      : Endpoint(std::move(clean)), engine_(spec, seed) {}
+
+ protected:
+  void deliver(detail::Frame&& frame) override {
+    engine_.apply(
+        std::move(frame),
+        [this](detail::Frame&& out) { Endpoint::deliver(std::move(out)); },
+        [this] { close(); });
+  }
+
+ private:
+  FaultEngine engine_;
 };
 
 }  // namespace ppds::net

@@ -130,4 +130,30 @@ frame_checksum(const FrameHeader& header,
 /// Serialized header size (the simulated wire overhead per message).
 inline constexpr std::size_t kFrameHeaderBytes = 1 + 1 + 4 + 8 + 8;
 
+/// Little-endian wire layout of a FrameHeader (the socket transport's
+/// on-the-wire form; the in-process channel passes the struct directly):
+///   u8 version | u8 stage | u32 seq | u64 session_id | u64 checksum
+inline void store_frame_header(std::uint8_t* out, const FrameHeader& h) {
+  out[0] = h.version;
+  out[1] = static_cast<std::uint8_t>(h.stage);
+  for (int i = 0; i < 4; ++i) {
+    out[2 + i] = static_cast<std::uint8_t>(h.seq >> (8 * i));
+  }
+  store_le64(out + 6, h.session_id);
+  store_le64(out + 14, h.checksum);
+}
+
+inline FrameHeader load_frame_header(const std::uint8_t* in) {
+  FrameHeader h;
+  h.version = in[0];
+  h.stage = static_cast<Stage>(in[1]);
+  h.seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    h.seq |= static_cast<std::uint32_t>(in[2 + i]) << (8 * i);
+  }
+  h.session_id = load_le64(in + 6);
+  h.checksum = load_le64(in + 14);
+  return h;
+}
+
 }  // namespace ppds::net

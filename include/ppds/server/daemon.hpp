@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ppds/core/classification.hpp"
+#include "ppds/core/similarity.hpp"
+#include "ppds/net/socket.hpp"
+#include "ppds/server/scenario.hpp"
+
+/// \file daemon.hpp
+/// ppdsd: the real-socket protocol daemon.
+///
+/// Threading model — one acceptor, one poller, N session workers:
+///
+///   acceptor ──▶ parked connections ◀──────────────┐
+///                      │ poll(2): readable?        │ session done:
+///                      ▼                           │ park again
+///                 ready queue ──▶ worker pool ─────┘
+///
+/// A connection between sessions sits PARKED: no worker is tied to it. The
+/// poller thread polls every parked fd at once; only when a client actually
+/// sends its next service-select byte does the connection move to the ready
+/// queue and occupy a worker for exactly one session. N workers therefore
+/// multiplex an unbounded number of keep-alive connections (64 concurrent
+/// clients over 8 workers in the tests), and an idle client costs one
+/// pollfd, not a blocked thread.
+///
+/// Failure containment: every session error — protocol violation, checksum
+/// mismatch, peer disconnect mid-protocol, recv timeout — is caught at the
+/// worker loop, counted, and ends ONLY that connection. The protocol layer
+/// has already aborted-and-wiped its OT pools by the time the worker sees
+/// the exception (OtBundle::abort on the serve() unwind path; audited by
+/// crypto::ot_abort_audit), so a vanished peer leaves no pad material in
+/// the heap and never wedges a worker.
+///
+/// Shutdown (stop(), the SIGTERM path) drains gracefully: the listener
+/// closes first (no new connections), in-flight sessions run to completion
+/// under their recv deadlines, parked connections are closed, and every
+/// thread is joined before stop() returns.
+
+namespace ppds::server {
+
+struct DaemonOptions {
+  net::SocketAddress address;  ///< listen address (tcp port 0 = ephemeral)
+  std::size_t workers = 4;     ///< concurrent session executors
+  /// Per-recv deadline inside a running session: a peer that goes silent
+  /// mid-protocol frees the worker after this long.
+  std::chrono::milliseconds recv_timeout{30000};
+  /// A parked connection with no traffic for this long is reaped.
+  std::chrono::milliseconds idle_timeout{30000};
+  /// Upper bound on the poller's poll(2) wait; bounds how stale the stop
+  /// flag / idle bookkeeping can get.
+  std::chrono::milliseconds poll_slice{200};
+  /// Cap a classification handshake may ask for (forwarded to
+  /// serve_session).
+  std::size_t max_queries = 1 << 12;
+  /// Root seed for per-connection server randomness: connection k draws
+  /// from Rng(splitmix64(rng_seed, k)), so a single sequential client sees
+  /// a DETERMINISTIC server — that is what lets the tests pin socket
+  /// transcripts bit-identical to the in-process path.
+  std::uint64_t rng_seed = 0x9d5d;
+  net::SocketOptions socket;  ///< applied to every accepted connection
+};
+
+/// Monotone counters, readable while the daemon runs (and after stop()).
+struct DaemonStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};  ///< clean goodbyes/EOFs
+  std::atomic<std::uint64_t> connections_reaped{0};  ///< idle-timeout kills
+  std::atomic<std::uint64_t> sessions_ok{0};
+  std::atomic<std::uint64_t> sessions_failed{0};  ///< aborted mid-protocol
+  std::atomic<std::uint64_t> active_sessions{0};  ///< gauge, not monotone
+};
+
+class Daemon {
+ public:
+  /// Binds the listen socket (throws on bind failure) but serves nothing
+  /// until start().
+  Daemon(Scenario scenario, DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  void start();
+  /// Graceful drain; idempotent, returns once every thread is joined.
+  void stop();
+
+  /// The bound address with any ephemeral port resolved — what clients
+  /// connect to.
+  const net::SocketAddress& address() const { return listener_.address(); }
+
+  const DaemonStats& stats() const { return stats_; }
+  const Scenario& scenario() const { return scenario_; }
+
+ private:
+  struct Connection {
+    std::unique_ptr<net::SocketEndpoint> channel;
+    Rng rng;  ///< server-side randomness, sticky to the connection
+    std::uint64_t id = 0;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  void acceptor_loop();
+  void poller_loop();
+  void worker_loop();
+  /// Runs exactly one session (service select + protocol) on a ready
+  /// connection. Returns false when the connection is finished (goodbye,
+  /// EOF, or error) and must not be parked again.
+  bool run_one_session(Connection& conn);
+  void park(std::unique_ptr<Connection> conn);
+  void wake_poller();
+
+  Scenario scenario_;
+  DaemonOptions options_;
+  core::ClassificationServer classification_;
+  core::SimilarityServer similarity_;
+  net::SocketListener listener_;
+  DaemonStats stats_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_connection_id_{0};
+
+  std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<std::unique_ptr<Connection>> parked_;
+  std::deque<std::unique_ptr<Connection>> ready_;
+
+  int poller_wake_fds_[2] = {-1, -1};  ///< self-pipe: park()/stop() -> poll
+  std::thread acceptor_;
+  std::thread poller_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace ppds::server

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "ppds/net/party.hpp"
+#include "ppds/net/socket.hpp"
 
 namespace ppds::core {
 
@@ -65,39 +67,60 @@ auto run_with_retry(const RetryPolicy& retry, std::uint64_t jitter_stream,
   }
 }
 
-/// One session attempt's transport: a bounded channel pair with deadlines
-/// installed and (optionally) fault-injecting decorators. The clean
-/// endpoints live here so the decorators' moved-from sources stay alive.
+/// One session attempt's transport: a connected endpoint pair with
+/// deadlines installed and (optionally) deterministic fault injection. The
+/// in-process flavor decorates clean endpoints with FaultyEndpoint; the
+/// socket flavor hands the same (FaultSpec, seed) to the fault shim built
+/// into SocketEndpoint — both run the identical FaultEngine decision
+/// stream, so a chaos seed perturbs the same frames on either wire. The
+/// clean endpoints live here so the decorators' moved-from sources stay
+/// alive.
 struct AttemptTransport {
   std::optional<net::Endpoint> end_a;
   std::optional<net::Endpoint> end_b;
   std::optional<net::FaultyEndpoint> faulty_a;
   std::optional<net::FaultyEndpoint> faulty_b;
+  std::unique_ptr<net::SocketEndpoint> sock_a;
+  std::unique_ptr<net::SocketEndpoint> sock_b;
   net::Endpoint* a = nullptr;
   net::Endpoint* b = nullptr;
 
   AttemptTransport(const TransportOptions& transport,
                    std::uint64_t fault_stream, std::size_t attempt) {
-    auto [clean_a, clean_b] = net::make_channel(transport.channel);
-    end_a.emplace(std::move(clean_a));
-    end_b.emplace(std::move(clean_b));
+    const std::uint64_t seed_a = splitmix64(fault_stream, 2 * attempt);
+    const std::uint64_t seed_b = splitmix64(fault_stream, 2 * attempt + 1);
+    if (transport.kind == TransportKind::kSocketPair) {
+      net::SocketOptions options_a;
+      options_a.fault = transport.fault_a;
+      options_a.fault_seed = seed_a;
+      net::SocketOptions options_b;
+      options_b.fault = transport.fault_b;
+      options_b.fault_seed = seed_b;
+      auto pair = net::make_socket_pair(options_a, options_b);
+      sock_a = std::move(pair.first);
+      sock_b = std::move(pair.second);
+      a = sock_a.get();
+      b = sock_b.get();
+    } else {
+      auto [clean_a, clean_b] = net::make_channel(transport.channel);
+      end_a.emplace(std::move(clean_a));
+      end_b.emplace(std::move(clean_b));
+      a = &*end_a;
+      b = &*end_b;
+      if (transport.fault_a.any()) {
+        faulty_a.emplace(std::move(*end_a), transport.fault_a, seed_a);
+        a = &*faulty_a;
+      }
+      if (transport.fault_b.any()) {
+        faulty_b.emplace(std::move(*end_b), transport.fault_b, seed_b);
+        b = &*faulty_b;
+      }
+    }
     if (transport.recv_timeout.count() > 0) {
       const net::Deadline deadline =
           net::Deadline::after(transport.recv_timeout);
-      end_a->set_recv_deadline(deadline);
-      end_b->set_recv_deadline(deadline);
-    }
-    a = &*end_a;
-    b = &*end_b;
-    if (transport.fault_a.any()) {
-      faulty_a.emplace(std::move(*end_a), transport.fault_a,
-                       splitmix64(fault_stream, 2 * attempt));
-      a = &*faulty_a;
-    }
-    if (transport.fault_b.any()) {
-      faulty_b.emplace(std::move(*end_b), transport.fault_b,
-                       splitmix64(fault_stream, 2 * attempt + 1));
-      b = &*faulty_b;
+      a->set_recv_deadline(deadline);
+      b->set_recv_deadline(deadline);
     }
   }
 };

@@ -470,6 +470,11 @@ Bytes precomputed_receive_1of2(net::Endpoint& channel,
   return out;
 }
 
+OtAbortAudit& ot_abort_audit() {
+  static OtAbortAudit audit;
+  return audit;
+}
+
 /// --- Batched session facade -----------------------------------------------------
 
 BatchedOtSender::BatchedOtSender(const DhGroup& group, Rng& rng,
@@ -492,6 +497,8 @@ void BatchedOtSender::abort() noexcept {
   }
   next_ = pool_.size();  // nothing left to consume
   aborted_ = true;
+  ot_abort_audit().aborts.fetch_add(1);
+  if (pool_wiped()) ot_abort_audit().wiped.fetch_add(1);
 }
 
 bool BatchedOtSender::pool_wiped() const {
@@ -567,6 +574,8 @@ void BatchedOtReceiver::abort() noexcept {
   }
   next_ = pool_.size();
   aborted_ = true;
+  ot_abort_audit().aborts.fetch_add(1);
+  if (pool_wiped()) ot_abort_audit().wiped.fetch_add(1);
 }
 
 bool BatchedOtReceiver::pool_wiped() const {

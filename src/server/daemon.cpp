@@ -1,0 +1,260 @@
+#include "ppds/server/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "ppds/common/error.hpp"
+#include "ppds/common/rng.hpp"
+#include "ppds/core/session.hpp"
+
+namespace ppds::server {
+
+namespace {
+
+bool is_peer_gone(const std::string& what) {
+  return what.find("closed by peer") != std::string::npos;
+}
+
+}  // namespace
+
+Daemon::Daemon(Scenario scenario, DaemonOptions options)
+    : scenario_(std::move(scenario)),
+      options_(options),
+      classification_(scenario_.server_model, scenario_.profile,
+                      scenario_.config),
+      similarity_(scenario_.server_model, scenario_.space, scenario_.config),
+      listener_(options_.address) {
+  if (options_.workers == 0) {
+    throw InvalidArgument("daemon: need at least one worker");
+  }
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  if (started_) return;
+  started_ = true;
+  if (::pipe(poller_wake_fds_) != 0) {
+    throw ProtocolError("daemon: self-pipe creation failed: " +
+                        std::string(std::strerror(errno)));
+  }
+  // Nonblocking both ways: a wake on an already-signaled poller must not
+  // block the worker doing the parking, and the poller's drain loop must
+  // stop at "no more wake bytes" instead of blocking on the read.
+  (void)::fcntl(poller_wake_fds_[0], F_SETFL, O_NONBLOCK);
+  (void)::fcntl(poller_wake_fds_[1], F_SETFL, O_NONBLOCK);
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  poller_ = std::thread([this] { poller_loop(); });
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Daemon::stop() {
+  if (!started_ || joined_) return;
+  joined_ = true;
+  stopping_.store(true);
+  wake_poller();
+  ready_cv_.notify_all();
+  // Acceptor and poller run bounded poll slices; workers drain their
+  // in-flight sessions (bounded by the per-recv deadline) and exit.
+  acceptor_.join();
+  poller_.join();
+  for (std::thread& w : workers_) w.join();
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parked_.clear();  // unique_ptr teardown closes the sockets
+    ready_.clear();
+  }
+  ::close(poller_wake_fds_[0]);
+  ::close(poller_wake_fds_[1]);
+  poller_wake_fds_[0] = poller_wake_fds_[1] = -1;
+}
+
+void Daemon::wake_poller() {
+  if (poller_wake_fds_[1] < 0) return;
+  const std::uint8_t byte = 1;
+  ssize_t n;
+  do {
+    n = ::write(poller_wake_fds_[1], &byte, 1);
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN means the pipe already holds a wake byte: good enough.
+}
+
+void Daemon::park(std::unique_ptr<Connection> conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parked_.push_back(std::move(conn));
+  }
+  wake_poller();
+}
+
+void Daemon::acceptor_loop() {
+  while (!stopping_.load()) {
+    std::unique_ptr<net::SocketEndpoint> channel;
+    try {
+      channel = listener_.accept(
+          net::Deadline::after(options_.poll_slice), options_.socket);
+    } catch (const TimeoutError&) {
+      continue;  // slice expired: re-check the stop flag
+    } catch (const std::exception&) {
+      break;  // listener torn down
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->channel = std::move(channel);
+    conn->id = next_connection_id_.fetch_add(1);
+    conn->rng = Rng(splitmix64(options_.rng_seed, conn->id));
+    conn->last_activity = std::chrono::steady_clock::now();
+    stats_.connections_accepted.fetch_add(1);
+    park(std::move(conn));
+  }
+}
+
+void Daemon::poller_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;  // ids[i] owns fds[i + 1]
+  while (!stopping_.load()) {
+    fds.clear();
+    ids.clear();
+    fds.push_back(pollfd{poller_wake_fds_[0], POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& conn : parked_) {
+        fds.push_back(pollfd{conn->channel->fd(), POLLIN, 0});
+        ids.push_back(conn->id);
+      }
+    }
+    int rc;
+    do {
+      rc = ::poll(fds.data(), fds.size(),
+                  static_cast<int>(options_.poll_slice.count()));
+    } while (rc < 0 && errno == EINTR);
+    if (stopping_.load()) break;
+    if (fds[0].revents != 0) {  // drain wake bytes
+      std::uint8_t buf[64];
+      while (::read(poller_wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    bool woke = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (fds[i + 1].revents == 0) continue;
+        // Readable (or hung up — the worker's recv turns that into the
+        // clean-EOF path): promote to the ready queue.
+        const auto it = std::find_if(
+            parked_.begin(), parked_.end(),
+            [&](const auto& c) { return c->id == ids[i]; });
+        if (it == parked_.end()) continue;
+        (*it)->last_activity = now;
+        ready_.push_back(std::move(*it));
+        parked_.erase(it);
+        woke = true;
+      }
+      // Idle reaping: a parked connection nobody has spoken on for
+      // idle_timeout is torn down (shutdown wakes any confused peer).
+      for (auto it = parked_.begin(); it != parked_.end();) {
+        if (now - (*it)->last_activity >= options_.idle_timeout) {
+          (*it)->channel->close();
+          it = parked_.erase(it);
+          stats_.connections_reaped.fetch_add(1);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (woke) ready_cv_.notify_all();
+  }
+}
+
+void Daemon::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock, [this] {
+        return stopping_.load() || !ready_.empty();
+      });
+      if (stopping_.load()) return;  // drain: unstarted sessions are dropped
+      conn = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    stats_.active_sessions.fetch_add(1);
+    const bool keep = run_one_session(*conn);
+    stats_.active_sessions.fetch_sub(1);
+    if (keep && !stopping_.load()) {
+      conn->last_activity = std::chrono::steady_clock::now();
+      park(std::move(conn));
+    }
+    // else: unique_ptr teardown closes the socket and wipes any staging.
+  }
+}
+
+bool Daemon::run_one_session(Connection& conn) {
+  net::SocketEndpoint& channel = *conn.channel;
+  bool in_session = false;
+  try {
+    channel.set_recv_deadline(net::Deadline::after(options_.recv_timeout));
+    const Bytes select = channel.recv();
+    if (select.size() != 1) {
+      throw ProtocolError("service select: expected 1 byte, got " +
+                          std::to_string(select.size()));
+    }
+    const Service service = static_cast<Service>(select[0]);
+    if (service == Service::kGoodbye) {
+      channel.close();
+      stats_.connections_closed.fetch_add(1);
+      return false;
+    }
+    in_session = true;
+    switch (service) {
+      case Service::kClassification:
+        core::serve_session(classification_, scenario_.profile,
+                            scenario_.config, channel, conn.rng,
+                            options_.max_queries);
+        break;
+      case Service::kSimilarity:
+        core::serve_similarity_session(similarity_, scenario_.profile.kernel,
+                                       scenario_.space, scenario_.config,
+                                       channel, conn.rng);
+        break;
+      default:
+        throw ProtocolError("service select: unknown service byte " +
+                            std::to_string(select[0]));
+    }
+    // Keep-alive: both parties return to the pre-session frame state so the
+    // next session on this connection starts from the same place.
+    channel.set_stage(net::Stage::kNone);
+    channel.set_session_id(0);
+    stats_.sessions_ok.fetch_add(1);
+    return true;
+  } catch (const ProtocolError& e) {
+    // EOF while WAITING for a service byte is how clients without a
+    // goodbye (or reaped by their own timeouts) leave: a clean close.
+    // The same EOF mid-protocol is an abort — by the time the exception
+    // reaches this frame the protocol layer has wiped its OT pools
+    // (OtBundle::abort on the unwind path).
+    if (!in_session && is_peer_gone(e.what())) {
+      stats_.connections_closed.fetch_add(1);
+    } else {
+      stats_.sessions_failed.fetch_add(1);
+    }
+  } catch (const std::exception&) {
+    // TimeoutError (silent peer), BackpressureError (peer not draining),
+    // serialization errors: the session dies, the worker survives.
+    stats_.sessions_failed.fetch_add(1);
+  }
+  conn.channel->close();
+  return false;
+}
+
+}  // namespace ppds::server

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,8 +51,11 @@ net::FaultSpec chaos_faults() {
   return spec;
 }
 
-TransportOptions chaos_transport(std::uint64_t fault_seed) {
+TransportOptions chaos_transport(
+    std::uint64_t fault_seed,
+    TransportKind kind = TransportKind::kInProcess) {
   TransportOptions transport;
+  transport.kind = kind;
   // Short but safely above any in-process compute step: each DROPPED frame
   // costs the receiver a full deadline wait, so this bounds sweep time.
   transport.recv_timeout = std::chrono::milliseconds{400};
@@ -97,7 +101,9 @@ struct ClassFixture {
 /// succeeded (the rest exhausted their retries with a typed ProtocolError).
 std::size_t sweep_classification(const ClassFixture& fx,
                                  const SchemeConfig& cfg,
-                                 std::size_t chunk_size, std::size_t seeds) {
+                                 std::size_t chunk_size, std::size_t seeds,
+                                 TransportKind kind =
+                                     TransportKind::kInProcess) {
   const ClassificationServer server(fx.model, fx.profile, cfg);
   const ClassificationClient client(fx.profile, cfg);
   SessionPool pool(server, client, fx.profile, cfg, 2);
@@ -110,7 +116,7 @@ std::size_t sweep_classification(const ClassFixture& fx,
                  " (rerun with this seed to reproduce)");
     try {
       const std::vector<int> labels = pool.classify_batch(
-          fx.samples, /*seed=*/404, chunk_size, chaos_transport(seed));
+          fx.samples, /*seed=*/404, chunk_size, chaos_transport(seed, kind));
       // A succeeding retry re-randomizes the whole session; sign(d(t~))
       // is randomness-invariant, so the labels must match exactly.
       EXPECT_EQ(labels, baseline);
@@ -180,6 +186,97 @@ TEST(Chaos, SimilaritySurvivesFaultSweep) {
     }
   }
   EXPECT_GE(succeeded * 2, seeds) << succeeded << "/" << seeds;
+}
+
+/// --- The same chaos matrix over REAL sockets --------------------------------
+///
+/// TransportKind::kSocketPair reruns whole sessions over connected AF_UNIX
+/// stream sockets: every frame serialized through the kernel, deadlines
+/// mapped onto poll(2), disconnect faults onto shutdown(2). The fault shim
+/// inside SocketEndpoint runs the identical FaultEngine decision stream as
+/// the in-process decorator, so the sweep exercises the same fault
+/// schedule against the real-fd error surface (EOF mid-frame, EPIPE,
+/// poll timeouts).
+
+TEST(Chaos, LinearClassificationSurvivesFaultSweepOverSockets) {
+  const ClassFixture fx =
+      ClassFixture::make(4, 3, svm::Kernel::linear(), 2024);
+  const std::size_t seeds = chaos_seed_count();
+  const std::size_t ok =
+      sweep_classification(fx, SchemeConfig::fast_simulation(), 2, seeds,
+                           TransportKind::kSocketPair);
+  EXPECT_GE(ok * 2, seeds) << ok << "/" << seeds << " seeds succeeded";
+}
+
+TEST(Chaos, SimilaritySurvivesFaultSweepOverSockets) {
+  Rng rng(33);
+  const std::size_t dim = 3;
+  auto random_model = [&]() {
+    math::Vec w(dim);
+    for (auto& v : w) v = rng.uniform_nonzero(-1.0, 1.0, 0.05);
+    return svm::SvmModel(svm::Kernel::linear(), {w}, {1.0},
+                         rng.uniform(-0.2, 0.2));
+  };
+  const auto a = random_model();
+  const auto b = random_model();
+  const DataSpace space;
+  const auto cfg = SchemeConfig::fast_simulation();
+  const SimilarityServer server(a, space, cfg);
+  const SimilarityClient client(b, space, cfg);
+  SimilaritySessionPool pool(server, client, a.kernel(), space, cfg, 2);
+  const double plain = ordinary_similarity(a, b, space);
+
+  const std::size_t seeds = chaos_seed_count();
+  std::size_t succeeded = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed) +
+                 " (rerun with this seed to reproduce)");
+    try {
+      const std::vector<double> values = pool.evaluate_batch(
+          1, /*seed=*/505,
+          chaos_transport(seed, TransportKind::kSocketPair));
+      ASSERT_EQ(values.size(), 1u);
+      EXPECT_NEAR(values[0], plain, 1e-5 + 1e-3 * std::abs(plain));
+      ++succeeded;
+    } catch (const ProtocolError&) {
+    }
+  }
+  EXPECT_GE(succeeded * 2, seeds) << succeeded << "/" << seeds;
+}
+
+TEST(Chaos, SocketSweepMatchesInProcessOutcomes) {
+  // Identical fault-decision streams on both transports: a seed that pulls
+  // through over the in-process wire must produce the SAME labels over the
+  // socket wire (transport cannot change protocol results; only whether a
+  // given fault schedule is survivable may differ at the margins, e.g. a
+  // reordered frame racing a deadline — so only successful runs compare).
+  const ClassFixture fx =
+      ClassFixture::make(4, 2, svm::Kernel::linear(), 2028);
+  const auto cfg = SchemeConfig::fast_simulation();
+  const ClassificationServer server(fx.model, fx.profile, cfg);
+  const ClassificationClient client(fx.profile, cfg);
+  SessionPool pool(server, client, fx.profile, cfg, 2);
+
+  auto run = [&](std::uint64_t seed, TransportKind kind)
+      -> std::optional<std::vector<int>> {
+    try {
+      return pool.classify_batch(fx.samples, 13, 2,
+                                 chaos_transport(seed, kind));
+    } catch (const ProtocolError&) {
+      return std::nullopt;
+    }
+  };
+  std::size_t compared = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    const auto in_process = run(seed, TransportKind::kInProcess);
+    const auto socket = run(seed, TransportKind::kSocketPair);
+    if (in_process.has_value() && socket.has_value()) {
+      EXPECT_EQ(*in_process, *socket);
+      ++compared;
+    }
+  }
+  EXPECT_GE(compared, 1u) << "no seed survived on both transports";
 }
 
 TEST(Chaos, SeedsReproduceExactly) {

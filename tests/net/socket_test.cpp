@@ -1,0 +1,377 @@
+#include "ppds/net/socket.hpp"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppds/common/error.hpp"
+#include "ppds/net/channel.hpp"
+
+/// \file socket_test.cpp
+/// The socket transport under the Endpoint interface: wire framing, the
+/// deadline edge cases the in-process channel cannot exhibit (partial
+/// frame then stall, disconnect mid-frame, EINTR during poll/read), the
+/// kernel-buffer backpressure mapping, and transcript equality against the
+/// in-process channel.
+
+namespace ppds::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+/// Serializes one valid frame (correct checksum, given seq) into raw wire
+/// bytes, for driving a SocketEndpoint's peer fd directly.
+Bytes wire_frame(const Bytes& payload, std::uint32_t seq = 0) {
+  FrameHeader h;
+  h.seq = seq;
+  h.checksum = frame_checksum(h, payload);
+  Bytes out(kSocketPreludeBytes + payload.size());
+  store_frame_header(out.data(), h);
+  store_le64(out.data() + kFrameHeaderBytes, payload.size());
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kSocketPreludeBytes, payload.data(),
+                payload.size());
+  }
+  return out;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    ASSERT_GT(w, 0) << "raw write failed: " << std::strerror(errno);
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+TEST(SocketAddress, ParsesAndPrints) {
+  const SocketAddress tcp = SocketAddress::parse("tcp:127.0.0.1:7441");
+  EXPECT_EQ(tcp.kind, SocketAddress::Kind::kTcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 7441);
+  EXPECT_EQ(tcp.to_string(), "tcp:127.0.0.1:7441");
+
+  const SocketAddress unix_addr = SocketAddress::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(unix_addr.kind, SocketAddress::Kind::kUnix);
+  EXPECT_EQ(unix_addr.path, "/tmp/x.sock");
+  EXPECT_EQ(unix_addr.to_string(), "unix:/tmp/x.sock");
+
+  EXPECT_THROW(SocketAddress::parse("http://x"), InvalidArgument);
+  EXPECT_THROW(SocketAddress::parse("tcp:nohost"), InvalidArgument);
+  EXPECT_THROW(SocketAddress::parse("tcp:h:99999"), InvalidArgument);
+  EXPECT_THROW(SocketAddress::parse(""), InvalidArgument);
+}
+
+TEST(SocketEndpoint, RoundTripsFramesOverSocketpair) {
+  auto [a, b] = make_socket_pair();
+  a->send(bytes_of("from a"));
+  b->send(bytes_of("from b"));
+  EXPECT_EQ(b->recv(Deadline::after(2000ms)), bytes_of("from a"));
+  EXPECT_EQ(a->recv(Deadline::after(2000ms)), bytes_of("from b"));
+  EXPECT_EQ(a->stats().messages, 1u);
+  EXPECT_EQ(a->stats().bytes, 6u);
+  EXPECT_EQ(a->stats().overhead_bytes, kFrameHeaderBytes);
+}
+
+TEST(SocketEndpoint, LargeFrameCrossesBufferBoundaries) {
+  // Well past any kernel socket buffer: exercises the partial-write loop on
+  // the sender and the staged multi-read reassembly on the receiver.
+  auto [a, b] = make_socket_pair();
+  Bytes big(8 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  }
+  const Bytes copy = big;
+  std::thread sender([&a, &big] { a->send(std::move(big)); });
+  const Bytes got = b->recv(Deadline::after(10000ms));
+  sender.join();
+  EXPECT_EQ(got, copy);
+}
+
+TEST(SocketEndpoint, ZeroDeadlineExpiresImmediately) {
+  auto [a, b] = make_socket_pair();
+  (void)a;
+  try {
+    (void)b->recv(Deadline::after(0ms));
+    FAIL() << "zero deadline must not block";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("frame prelude"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SocketEndpoint, AlreadyExpiredDeadlineExpiresImmediately) {
+  auto [a, b] = make_socket_pair();
+  (void)a;
+  const Deadline expired = Deadline::after(1ms);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(expired.expired());
+  EXPECT_THROW((void)b->recv(expired), TimeoutError);
+}
+
+TEST(SocketEndpoint, PartialFrameThenStallResumesAfterTimeout) {
+  // A deadline that expires MID-FRAME throws TimeoutError but keeps the
+  // partial bytes staged; when the rest arrives, the next recv returns the
+  // complete frame. (The in-process channel moves whole frames, so only
+  // the socket path has this case.)
+  auto [a, b] = make_socket_pair();
+  const Bytes payload = bytes_of("split across reads");
+  const Bytes wire = wire_frame(payload);
+
+  write_all(a->fd(), wire.data(), 10);  // a third of the prelude
+  try {
+    (void)b->recv(Deadline::after(50ms));
+    FAIL() << "stalled mid-prelude: must time out";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("frame prelude"), std::string::npos) << what;
+    EXPECT_NE(what.find("10 of 30 bytes staged"), std::string::npos) << what;
+    EXPECT_NE(what.find("budget at entry"), std::string::npos) << what;
+  }
+
+  // Complete the prelude plus half the payload: times out again, still
+  // resumable, now mid-payload.
+  write_all(a->fd(), wire.data() + 10, kSocketPreludeBytes - 10 + 5);
+  try {
+    (void)b->recv(Deadline::after(50ms));
+    FAIL() << "stalled mid-payload: must time out";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("frame payload"), std::string::npos)
+        << e.what();
+  }
+
+  write_all(a->fd(), wire.data() + kSocketPreludeBytes + 5,
+            payload.size() - 5);
+  EXPECT_EQ(b->recv(Deadline::after(2000ms)), payload);
+}
+
+TEST(SocketEndpoint, DisconnectMidFrameIsProtocolError) {
+  auto [a, b] = make_socket_pair();
+  const Bytes wire = wire_frame(bytes_of("never finishes"));
+  write_all(a->fd(), wire.data(), kSocketPreludeBytes + 4);
+  a->close();
+  try {
+    (void)b->recv(Deadline::after(2000ms));
+    FAIL() << "peer vanished mid-frame: must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("mid-frame"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SocketEndpoint, CleanCloseAtFrameBoundaryNamesPeer) {
+  auto [a, b] = make_socket_pair();
+  a->close();
+  try {
+    (void)b->recv(Deadline::after(2000ms));
+    FAIL() << "closed channel must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("closed by peer"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SocketEndpoint, CloseWakesBlockedPeerRecv) {
+  auto [a, b] = make_socket_pair();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(50ms);
+    a->close();
+  });
+  EXPECT_THROW((void)b->recv(Deadline::after(10000ms)), ProtocolError);
+  closer.join();
+}
+
+namespace eintr {
+void noop_handler(int) {}
+}  // namespace eintr
+
+TEST(SocketEndpoint, EintrDuringRecvIsRetriedTransparently) {
+  // Signals interrupting poll()/read() must never surface to the protocol:
+  // the transport retries with the deadline recomputed. SIGUSR1 is
+  // installed WITHOUT SA_RESTART so each delivery really forces EINTR.
+  struct sigaction sa{};
+  sa.sa_handler = eintr::noop_handler;
+  sa.sa_flags = 0;
+  struct sigaction old{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  auto [a, b] = make_socket_pair();
+  const Bytes payload = bytes_of("survives signals");
+  std::atomic<bool> received{false};
+  Bytes got;
+  std::thread receiver([&] {
+    got = b->recv(Deadline::after(10000ms));
+    received.store(true);
+  });
+  const pthread_t handle = receiver.native_handle();
+  for (int i = 0; i < 25 && !received.load(); ++i) {
+    ::pthread_kill(handle, SIGUSR1);
+    std::this_thread::sleep_for(2ms);
+  }
+  a->send(payload);
+  receiver.join();
+  EXPECT_TRUE(received.load());
+  EXPECT_EQ(got, payload);
+  ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(SocketEndpoint, BackpressureDiagnosticsNameQueueDepthAndLimit) {
+  // A tiny SO_SNDBUF with nobody draining: the send must fail with
+  // BackpressureError naming progress, the configured buffer, and the
+  // stall limit — not wedge the thread forever.
+  SocketOptions small;
+  small.send_buffer_bytes = 4096;
+  small.send_stall_timeout = 120ms;
+  auto [a, b] = make_socket_pair(small, small);
+  (void)b;  // never reads
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    a->send(Bytes(4 << 20));
+    FAIL() << "send against a full buffer must trip backpressure";
+  } catch (const BackpressureError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("of 4194334 frame bytes written"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("SO_SNDBUF = 4096 bytes"), std::string::npos) << what;
+    EXPECT_NE(what.find("limit 120 ms"), std::string::npos) << what;
+    EXPECT_NE(what.find("peer is not draining"), std::string::npos) << what;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 5s) << "stall timeout did not bound the send";
+
+  // The stream is poisoned mid-frame: later sends must fail loudly instead
+  // of interleaving bytes the peer would misparse.
+  EXPECT_THROW(a->send(bytes_of("x")), ProtocolError);
+}
+
+TEST(SocketEndpoint, OversizedFrameLengthFailsFast) {
+  SocketOptions capped;
+  capped.max_frame_bytes = 1024;
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  SocketEndpoint receiver(fds[1], capped);
+  std::uint8_t prelude[kSocketPreludeBytes] = {};
+  FrameHeader h;
+  h.checksum = frame_checksum(h, Bytes{});
+  store_frame_header(prelude, h);
+  store_le64(prelude + kFrameHeaderBytes, std::uint64_t{1} << 40);
+  write_all(fds[0], prelude, sizeof(prelude));
+  try {
+    (void)receiver.recv(Deadline::after(2000ms));
+    FAIL() << "a TB-sized length prefix must not be allocated";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the 1024-byte cap"),
+              std::string::npos)
+        << e.what();
+  }
+  ::close(fds[0]);
+}
+
+TEST(SocketEndpoint, CorruptedWireBytesFailChecksumValidation) {
+  auto [a, b] = make_socket_pair();
+  Bytes wire = wire_frame(bytes_of("to be corrupted"));
+  wire[kSocketPreludeBytes + 3] ^= 0x10;  // flip one payload bit
+  write_all(a->fd(), wire.data(), wire.size());
+  try {
+    (void)b->recv(Deadline::after(2000ms));
+    FAIL() << "corrupt frame must fail validation";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SocketListener, TcpLoopbackConnectAndRoundTrip) {
+  SocketListener listener(SocketAddress::tcp("127.0.0.1", 0));
+  ASSERT_NE(listener.address().port, 0) << "ephemeral port not resolved";
+
+  std::unique_ptr<SocketEndpoint> client;
+  std::thread connector([&] {
+    client = socket_connect(listener.address(), {}, Deadline::after(5000ms));
+  });
+  auto served = listener.accept(Deadline::after(5000ms));
+  connector.join();
+  ASSERT_TRUE(client);
+  ASSERT_TRUE(served);
+
+  client->send(bytes_of("over tcp"));
+  EXPECT_EQ(served->recv(Deadline::after(2000ms)), bytes_of("over tcp"));
+  served->send(bytes_of("and back"));
+  EXPECT_EQ(client->recv(Deadline::after(2000ms)), bytes_of("and back"));
+}
+
+TEST(SocketListener, AcceptHonorsDeadline) {
+  SocketListener listener(SocketAddress::tcp("127.0.0.1", 0));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)listener.accept(Deadline::after(60ms)), TimeoutError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+}
+
+TEST(SocketListener, ConnectToNobodyIsTypedError) {
+  // Port 1 on loopback: virtually guaranteed unbound in the test sandbox.
+  EXPECT_THROW(
+      (void)socket_connect(SocketAddress::tcp("127.0.0.1", 1)),
+      ProtocolError);
+}
+
+TEST(Transcript, SocketAndInProcessDigestsAgree) {
+  // The acceptance bar for the transport: the SAME payload schedule over
+  // the in-process channel and over a real socket folds to the SAME
+  // transcript digests — the socket moves bit-identical payload bytes.
+  const std::vector<Bytes> a_to_b = {bytes_of("alpha"), bytes_of(""),
+                                     Bytes(3000, 0x5a)};
+  const std::vector<Bytes> b_to_a = {bytes_of("reply")};
+
+  const auto run = [&](Endpoint& a, Endpoint& b) {
+    a.enable_transcript(true);
+    b.enable_transcript(true);
+    for (const Bytes& p : a_to_b) {
+      a.send(Bytes(p));
+      EXPECT_EQ(b.recv(Deadline::after(2000ms)), p);
+    }
+    for (const Bytes& p : b_to_a) {
+      b.send(Bytes(p));
+      EXPECT_EQ(a.recv(Deadline::after(2000ms)), p);
+    }
+    return std::pair(a.sent_transcript(), b.sent_transcript());
+  };
+
+  auto [chan_a, chan_b] = make_channel();
+  const auto in_process = run(chan_a, chan_b);
+  auto [sock_a, sock_b] = make_socket_pair();
+  const auto socket = run(*sock_a, *sock_b);
+
+  EXPECT_EQ(in_process.first, socket.first);
+  EXPECT_EQ(in_process.second, socket.second);
+  // And each side's recv digest equals its peer's sent digest.
+  EXPECT_EQ(sock_b->recv_transcript(), sock_a->sent_transcript());
+  EXPECT_EQ(sock_a->recv_transcript(), sock_b->sent_transcript());
+}
+
+TEST(SocketEndpoint, TimeoutThenCloseWipesStagedBytes) {
+  // No direct observation of freed memory, but the abandon path must run
+  // without corrupting state: stage a partial secret-bearing frame, let the
+  // deadline expire, close, destroy. (ASan/MSan catch misuse; the wipe
+  // itself is by inspection of wipe_staging.)
+  auto [a, b] = make_socket_pair();
+  const Bytes wire = wire_frame(Bytes(256, 0xAA));
+  write_all(a->fd(), wire.data(), kSocketPreludeBytes + 100);
+  EXPECT_THROW((void)b->recv(Deadline::after(30ms)), TimeoutError);
+  b->close();
+  EXPECT_THROW((void)b->recv(Deadline::after(30ms)), ProtocolError);
+}
+
+}  // namespace
+}  // namespace ppds::net

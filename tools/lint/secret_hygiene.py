@@ -57,9 +57,13 @@ SCAN_DIRS = [
     "src/crypto",
     "src/ompe",
     "src/core",
+    "src/net",
+    "src/server",
     "include/ppds/crypto",
     "include/ppds/ompe",
     "include/ppds/core",
+    "include/ppds/net",
+    "include/ppds/server",
 ]
 
 SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"}
