@@ -78,9 +78,9 @@ void run_precomputed(std::size_t queries) {
         Split split;
         Stopwatch offline;
         core::OtBundle ot(cfg, rng);
-        ot.prepare_receiver(
-            ch, queries * core::ot_slots_per_query(cfg.ompe,
-                                                   profile.declared_degree));
+        const auto demand =
+            core::ot_demand_per_query(cfg.ompe, profile.declared_degree);
+        ot.prepare_receiver(ch, demand, queries);
         split.offline_ms = offline.millis();
         Stopwatch online;
         for (const auto& sample : samples) {

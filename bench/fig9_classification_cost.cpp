@@ -69,6 +69,8 @@ struct SecureRun {
   double queries_per_sec = 0.0;
   double exp_full_per_query = 0.0;
   double exp_fixed_base_per_query = 0.0;
+  double multi_exp_batches_per_query = 0.0;
+  double multi_exp_bases_per_query = 0.0;
 };
 
 bench::Json secure_run_json(const SecureRun& run) {
@@ -77,6 +79,8 @@ bench::Json secure_run_json(const SecureRun& run) {
   j.set("queries_per_sec", run.queries_per_sec);
   j.set("exp_full_per_query", run.exp_full_per_query);
   j.set("exp_fixed_base_per_query", run.exp_fixed_base_per_query);
+  j.set("multi_exp_batches_per_query", run.multi_exp_batches_per_query);
+  j.set("multi_exp_bases_per_query", run.multi_exp_bases_per_query);
   return j;
 }
 
@@ -145,6 +149,9 @@ SecureRun secure_throughput(std::size_t queries, bool batched) {
   run.queries_per_sec = 1000.0 * q / run.wall_ms;
   run.exp_full_per_query = static_cast<double>(exps.full) / q;
   run.exp_fixed_base_per_query = static_cast<double>(exps.fixed_base) / q;
+  run.multi_exp_batches_per_query =
+      static_cast<double>(exps.multi_exp_batches) / q;
+  run.multi_exp_bases_per_query = static_cast<double>(exps.multi_exp_bases) / q;
   return run;
 }
 
@@ -232,15 +239,17 @@ int main(int argc, char** argv) {
   const SecureRun bat = secure_throughput(queries, /*batched=*/true);
   const double speedup = seq.wall_ms / bat.wall_ms;
 
-  std::printf("%-12s | %10s | %10s | %12s | %12s\n", "engine", "wall ms",
-              "q/s", "full exp/q", "fixed exp/q");
-  bench::rule(68);
-  std::printf("%-12s | %10.1f | %10.2f | %12.1f | %12.1f\n", "sequential",
-              seq.wall_ms, seq.queries_per_sec, seq.exp_full_per_query,
-              seq.exp_fixed_base_per_query);
-  std::printf("%-12s | %10.1f | %10.2f | %12.1f | %12.1f\n", "batched",
-              bat.wall_ms, bat.queries_per_sec, bat.exp_full_per_query,
-              bat.exp_fixed_base_per_query);
+  std::printf("%-12s | %10s | %10s | %12s | %12s | %12s\n", "engine",
+              "wall ms", "q/s", "full exp/q", "fixed exp/q", "multiexp/q");
+  bench::rule(84);
+  std::printf("%-12s | %10.1f | %10.2f | %12.1f | %12.1f | %12.1f\n",
+              "sequential", seq.wall_ms, seq.queries_per_sec,
+              seq.exp_full_per_query, seq.exp_fixed_base_per_query,
+              seq.multi_exp_batches_per_query);
+  std::printf("%-12s | %10.1f | %10.2f | %12.1f | %12.1f | %12.1f\n",
+              "batched", bat.wall_ms, bat.queries_per_sec,
+              bat.exp_full_per_query, bat.exp_fixed_base_per_query,
+              bat.multi_exp_batches_per_query);
   std::printf("speedup: %.2fx (full exponentiations saved per query: %.1f)\n",
               speedup, seq.exp_full_per_query - bat.exp_full_per_query);
 

@@ -50,6 +50,63 @@ BENCHMARK(BM_GroupExp)
     ->Arg(1)   // MODP-1536
     ->Arg(2);  // MODP-2048
 
+/// Joint product prod_i bases[i]^exps[i] the "before" way: one full
+/// exponentiation per base. Pairs with BM_MultiExp below at the same batch
+/// sizes; the counter deltas show the exchange rate (n full exps -> one
+/// multi-exp batch).
+void BM_MultiExpNaive(benchmark::State& state) {
+  const crypto::DhGroup group(crypto::GroupId::kModp1024);
+  Rng rng(3);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<mpz_class> bases(n), exps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bases[i] = group.random_element(rng);
+    exps[i] = group.random_exponent(rng);
+  }
+  crypto::reset_exp_counters();
+  for (auto _ : state) {
+    mpz_class acc = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = group.mul(acc, group.pow(bases[i], exps[i]));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  const crypto::ExpCounters c = crypto::exp_counters();
+  state.counters["full_exps_per_batch"] = benchmark::Counter(
+      static_cast<double>(c.full) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_MultiExpNaive)->Arg(4)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Same joint product through DhGroup::multi_exp — Straus interleaving
+/// below kPippengerThreshold bases, Pippenger buckets above. The counters
+/// confirm zero full exponentiations: the whole batch rides one shared
+/// squaring chain.
+void BM_MultiExp(benchmark::State& state) {
+  const crypto::DhGroup group(crypto::GroupId::kModp1024);
+  Rng rng(3);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<mpz_class> bases(n), exps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bases[i] = group.random_element(rng);
+    exps[i] = group.random_exponent(rng);
+  }
+  crypto::reset_exp_counters();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.multi_exp(bases, exps));
+  }
+  const crypto::ExpCounters c = crypto::exp_counters();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["full_exps_per_batch"] =
+      benchmark::Counter(static_cast<double>(c.full) / iters);
+  state.counters["multi_exp_batches"] =
+      benchmark::Counter(static_cast<double>(c.multi_exp_batches) / iters);
+  state.counters["bases_folded"] =
+      benchmark::Counter(static_cast<double>(c.multi_exp_bases) / iters);
+  state.SetLabel(n >= crypto::DhGroup::kPippengerThreshold ? "pippenger"
+                                                           : "straus");
+}
+BENCHMARK(BM_MultiExp)->Arg(4)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
 void BM_Ot1of2(benchmark::State& state) {
   const crypto::DhGroup group(crypto::GroupId::kModp1024);
   const Bytes m0(32, 1), m1(32, 2);
@@ -78,6 +135,7 @@ void BM_OtKofN(benchmark::State& state) {
   std::vector<Bytes> msgs(n, Bytes(8, 3));
   std::vector<std::size_t> want(k);
   for (std::size_t i = 0; i < k; ++i) want[i] = i;
+  crypto::reset_exp_counters();
   for (auto _ : state) {
     auto outcome = net::run_two_party(
         [&](net::Endpoint& ch) {
@@ -93,6 +151,15 @@ void BM_OtKofN(benchmark::State& state) {
         });
     benchmark::DoNotOptimize(outcome.b);
   }
+  // Per-transfer exponentiation bill — the quantity multi_exp and the
+  // fixed-base tables exist to shrink (compare the batched engine in fig9's
+  // secure_throughput block).
+  const crypto::ExpCounters c = crypto::exp_counters();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["full_exps_per_transfer"] =
+      benchmark::Counter(static_cast<double>(c.full) / iters);
+  state.counters["multi_exp_batches"] =
+      benchmark::Counter(static_cast<double>(c.multi_exp_batches) / iters);
   state.SetLabel(std::to_string(k) + "-of-" + std::to_string(n));
 }
 BENCHMARK(BM_OtKofN)

@@ -48,6 +48,14 @@ struct ClassificationProfile {
 
   /// Bob's local transform t -> tau (identity for the linear kernel).
   std::vector<double> transform(const std::vector<double>& sample) const;
+
+  /// Batched transform, bit-identical per sample to transform(): sweeps the
+  /// monomial DAG over blocks of eight samples in an SoA layout, turning
+  /// the latency-bound per-sample multiply chain into eight independent
+  /// chains the compiler vectorizes. The batch query paths pick it when
+  /// SchemeConfig::ompe.use_simd_field is set.
+  std::vector<std::vector<double>> transform_batch(
+      const std::vector<std::vector<double>>& samples) const;
 };
 
 /// Alice: serves private classification queries from her model.

@@ -2,6 +2,8 @@
 
 #include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "ppds/crypto/group.hpp"
 #include "ppds/crypto/ot.hpp"
@@ -45,6 +47,14 @@ struct SchemeConfig {
   }
 };
 
+/// One homogeneous block of precomputed-OT demand: \p count direct
+/// 1-of-\p arity slots (arity 2 doubles as the bit-decomposition slot
+/// type). See ot_demand_per_query().
+struct OtDemand {
+  std::size_t arity = 2;
+  std::size_t count = 0;
+};
+
 /// Per-party OT engine bundle. Naor-Pinkas-based engines run over the
 /// process-wide shared_group() so the fixed-base generator table is built
 /// once and stays warm across sessions (unless cfg.fixed_base_tables is
@@ -52,16 +62,27 @@ struct SchemeConfig {
 ///
 /// For OtEngine::kPrecomputed the engines are ready immediately and refill
 /// their slot pools on demand; calling prepare_sender() on the sender side
-/// while the receiver concurrently calls prepare_receiver() (same slot
-/// count, see ot_slots_per_query()) front-loads a whole session's offline
-/// phase into one batched round trip.
+/// while the receiver concurrently calls prepare_receiver() (same demand,
+/// see ot_demand_per_query()) front-loads a whole session's offline phase
+/// into one batched round trip per distinct slot arity.
 class OtBundle {
  public:
   OtBundle(const SchemeConfig& cfg, Rng& rng);
 
-  /// Offline phase (no-op unless engine == kPrecomputed).
+  /// Offline phase (no-op unless engine == kPrecomputed). The std::size_t
+  /// forms reserve legacy arity-2 (bit-decomposition) slots.
   void prepare_sender(net::Endpoint& channel, std::size_t slots);
   void prepare_receiver(net::Endpoint& channel, std::size_t slots);
+
+  /// Demand-list forms: reserve every (arity, count) block, merging
+  /// duplicate arities, with \p repeat scaling a per-query demand to a
+  /// whole batch. Both sides must pass the same demands in the same order.
+  void prepare_sender(net::Endpoint& channel,
+                      std::span<const OtDemand> demands,
+                      std::size_t repeat = 1);
+  void prepare_receiver(net::Endpoint& channel,
+                        std::span<const OtDemand> demands,
+                        std::size_t repeat = 1);
 
   /// Fails the bundle closed after a mid-protocol error: wipes and poisons
   /// any precomputed OT slot pools (see BatchedOtSender::abort — a half-
@@ -84,10 +105,19 @@ class OtBundle {
   crypto::BatchedOtReceiver* batched_receiver_ = nullptr;
 };
 
-/// Precomputed-OT slots one OMPE evaluation consumes: the m-out-of-M
-/// transfer runs m 1-out-of-M rounds of ceil(log2 M) slot-backed key
-/// transfers each.
+/// Arity-2 (bit-decomposition) slots one OMPE evaluation would consume: the
+/// m-out-of-M transfer runs m 1-out-of-M rounds of ceil(log2 M) slot-backed
+/// key transfers each. This is the legacy sizing formula; the batched
+/// engines serve M <= crypto::kMaxDirectArity transfers from direct 1-of-M
+/// slots instead (see ot_demand_per_query()).
 std::size_t ot_slots_per_query(const ompe::OmpeParams& params,
                                unsigned degree);
+
+/// Demand one OMPE evaluation places on the precomputed-OT pools: m direct
+/// 1-of-M slots when M fits the direct bound (one offline exponentiation
+/// per transfer), else the bit-decomposition fallback of ot_slots_per_query
+/// arity-2 slots.
+std::vector<OtDemand> ot_demand_per_query(const ompe::OmpeParams& params,
+                                          unsigned degree);
 
 }  // namespace ppds::core

@@ -48,6 +48,8 @@ enum class GroupId {
 struct ExpCounters {
   std::uint64_t full = 0;        ///< full mpz_powm exponentiations
   std::uint64_t fixed_base = 0;  ///< table-served exponentiations
+  std::uint64_t multi_exp_batches = 0;  ///< multi_exp() invocations
+  std::uint64_t multi_exp_bases = 0;    ///< bases folded across those batches
 };
 
 /// Reads the process-wide counters (monotonic since process start or the
@@ -125,6 +127,26 @@ class DhGroup {
 
   /// a^{-1} mod p.
   mpz_class invert(const mpz_class& a) const;
+
+  /// Joint multi-exponentiation: prod_i bases[i]^exps[i] mod p, all
+  /// exponents >= 0. One shared squaring chain serves every base (Straus
+  /// interleaving with 4-bit per-base windows); batches larger than
+  /// kPippengerThreshold switch to Pippenger's bucket method, whose window
+  /// precompute is shared across ALL bases instead of per base. Bases equal
+  /// to g are factored out and served from the generator FixedBaseTable
+  /// (zero squarings), then multiplied into the joint result. Counted in
+  /// exp_counters().multi_exp_batches / multi_exp_bases rather than .full —
+  /// a k-base batch replaces k full exponentiations with one chain.
+  mpz_class multi_exp(std::span<const mpz_class> bases,
+                      std::span<const mpz_class> exps) const;
+
+  /// Batch size at which multi_exp switches from Straus to Pippenger.
+  static constexpr std::size_t kPippengerThreshold = 16;
+
+  /// In-place Montgomery batch inversion: xs[i] <- xs[i]^{-1} mod p using
+  /// 3(n-1) multiplications and ONE modular inversion. Throws CryptoError if
+  /// any element is non-invertible (and leaves xs unspecified in that case).
+  void batch_invert(std::span<mpz_class> xs) const;
 
   /// Uniform exponent in [1, q).
   mpz_class random_exponent(Rng& rng) const;

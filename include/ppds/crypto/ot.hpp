@@ -130,26 +130,41 @@ class LoopbackReceiver : public OtReceiver {
 /// its OT analogue, and feeds the ablation bench.
 ///
 /// The offline phase is BATCHED and AMORTIZED (Naor-Pinkas SODA'01 style):
-/// the sender reuses one (C, r) pair across all N slots of a batch, ships
-/// `C || g^r` once, the receiver answers with all N blinded public keys in
-/// one bundle, and both sides derive the random pads from hashed DH shared
-/// secrets with a per-slot domain-separation tag — one round trip and
-/// roughly one full exponentiation per slot instead of 3 messages and 6
-/// exponentiations. Fixed-base tables (group.hpp) serve every g^x, and the
-/// receiver builds a per-batch table for g^r.
+/// the sender reuses one (C_1..C_{n-1}, r) tuple across all N slots of a
+/// batch, ships `C_1 || ... || C_{n-1} || g^r` once, the receiver answers
+/// with all N blinded public keys in one bundle, and both sides derive the
+/// random pads from hashed DH shared secrets with a per-slot domain-
+/// separation tag — one round trip and one full exponentiation per slot
+/// instead of 3 messages and 6 exponentiations. Fixed-base tables
+/// (group.hpp) serve every g^x, the sender's inverse shares run through one
+/// Montgomery batch inversion, and the receiver builds a per-batch table
+/// for g^r.
+///
+/// Slots are 1-out-of-ARITY: a direct 1-of-n slot holds n pads of which the
+/// receiver knows exactly one, so one n-message transfer consumes ONE slot
+/// (one offline exponentiation) instead of the ceil(log2 n) arity-2 slots
+/// the bit-decomposition construction needs. Arity 2 is the legacy Beaver
+/// 1-out-of-2 slot.
 
-/// Offline artifact held by the sender: both random pads per slot (Beaver
-/// correlated randomness — taint roots for the analyzer).
+/// Offline artifact held by the sender: one random pad per possible choice
+/// index (Beaver correlated randomness — taint roots for the analyzer).
+/// The slot's arity is pads.size().
 struct PrecomputedSendSlot {
-  PPDS_SECRET Bytes r0;
-  PPDS_SECRET Bytes r1;
+  PPDS_SECRET std::vector<Bytes> pads;
 };
 
-/// Offline artifact held by the receiver: its random choice and pad.
+/// Offline artifact held by the receiver: its random choice in [0, arity)
+/// and the matching pad. The arity itself is public protocol shape.
 struct PrecomputedRecvSlot {
-  PPDS_SECRET bool choice = false;
+  PPDS_SECRET std::uint32_t choice = 0;
   PPDS_SECRET Bytes pad;
+  std::uint32_t arity = 2;
 };
+
+/// Largest arity served by direct 1-of-n precomputed slots (the online
+/// correction shift must fit one byte). Larger transfers fall back to bit
+/// decomposition over arity-2 slots.
+inline constexpr std::size_t kMaxDirectArity = 256;
 
 /// Number of 1-out-of-2 key transfers a 1-out-of-n OT needs: ceil(log2 n)
 /// (0 when n == 1, where the single message is sent directly).
@@ -210,17 +225,18 @@ class PrecomputedOtReceiver : public OtReceiver {
   std::size_t next_ = 0;
 };
 
-/// Runs \p count offline 1-out-of-2 OTs of \p pad_len-byte random pads in
-/// ONE channel round trip (amortized base phase, pads derived from hashed
-/// DH secrets; pad_len <= 32). Returns the sender-side slots; receiver-side
-/// slots come out of the matching call on the other thread.
+/// Runs \p count offline 1-out-of-\p arity OTs of \p pad_len-byte random
+/// pads in ONE channel round trip (amortized base phase, pads derived from
+/// hashed DH secrets; pad_len <= 32, 2 <= arity <= kMaxDirectArity).
+/// Returns the sender-side slots; receiver-side slots come out of the
+/// matching call on the other thread.
 std::vector<PrecomputedSendSlot> precompute_ot_sender(
     net::Endpoint& channel, NaorPinkasSender& sender, std::size_t count,
-    std::size_t pad_len, Rng& rng);
+    std::size_t pad_len, Rng& rng, std::size_t arity = 2);
 
 std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
     net::Endpoint& channel, NaorPinkasReceiver& receiver, std::size_t count,
-    std::size_t pad_len, Rng& rng);
+    std::size_t pad_len, Rng& rng, std::size_t arity = 2);
 
 /// Process-wide abort-and-wipe audit. Every BatchedOt{Sender,Receiver}::
 /// abort() increments `aborts` and — when the post-wipe pool_wiped() scan
@@ -238,10 +254,13 @@ OtAbortAudit& ot_abort_audit();
 /// --- Batched session facade --------------------------------------------------
 ///
 /// OtSender/OtReceiver implementation that owns the Naor-Pinkas base
-/// machinery and an auto-refilled pool of precomputed slots: reserve() tops
-/// the pool up for a whole classification session in one round trip, and
-/// send()/receive() refill symmetrically (both sides derive the same top-up
-/// size from the transfer shape) if a session outruns its reservation.
+/// machinery and auto-refilled PER-ARITY pools of precomputed slots:
+/// reserve() tops a pool up for a whole classification session in one round
+/// trip, and send()/receive() refill symmetrically (both sides derive the
+/// same top-up size from the transfer shape) if a session outruns its
+/// reservation. An n-message transfer with n <= kMaxDirectArity consumes
+/// one direct arity-n slot; larger transfers fall back to bit decomposition
+/// over the arity-2 pool.
 
 class BatchedOtSender : public OtSender {
  public:
@@ -249,9 +268,12 @@ class BatchedOtSender : public OtSender {
                   std::size_t refill_batch = 128);
   ~BatchedOtSender() override;
 
-  /// Ensures at least \p slots unconsumed slots, topping up in one round
-  /// trip (the receiver must mirror with its own reserve()).
+  /// Ensures at least \p slots unconsumed arity-2 slots, topping up in one
+  /// round trip (the receiver must mirror with its own reserve()).
   void reserve(net::Endpoint& channel, std::size_t slots);
+
+  /// Ensures at least \p count unconsumed arity-\p arity slots.
+  void reserve(net::Endpoint& channel, std::size_t arity, std::size_t count);
 
   void send(net::Endpoint& channel, std::span<const Bytes> messages,
             std::size_t k) override;
@@ -264,19 +286,32 @@ class BatchedOtSender : public OtSender {
 
   bool aborted() const { return aborted_; }
 
-  /// Abort-audit hook: true when every pad byte in the pool is zero (the
+  /// Abort-audit hook: true when every pad byte in every pool is zero (the
   /// post-abort hygiene check of the chaos tests reads this instead of
   /// poking freed memory).
   bool pool_wiped() const;
 
-  std::size_t remaining() const { return pool_.size() - next_; }
+  /// Unconsumed slots summed across every arity pool.
+  std::size_t remaining() const;
+
+  /// Unconsumed slots of one arity.
+  std::size_t remaining(std::size_t arity) const;
 
  private:
+  struct Pool {
+    std::size_t arity = 2;
+    std::vector<PrecomputedSendSlot> slots;
+    std::size_t next = 0;
+  };
+
+  Pool& pool_for(std::size_t arity);
+
   NaorPinkasSender base_;
   Rng& rng_;
   std::size_t refill_batch_;
-  PPDS_SECRET std::vector<PrecomputedSendSlot> pool_;
-  std::size_t next_ = 0;
+  // Pool bookkeeping (arity, counts, cursor) is public protocol metadata;
+  // the secrets live in the slots' annotated fields.
+  std::vector<Pool> pools_;
   bool aborted_ = false;
 };
 
@@ -287,6 +322,7 @@ class BatchedOtReceiver : public OtReceiver {
   ~BatchedOtReceiver() override;
 
   void reserve(net::Endpoint& channel, std::size_t slots);
+  void reserve(net::Endpoint& channel, std::size_t arity, std::size_t count);
 
   std::vector<Bytes> receive(net::Endpoint& channel,
                              std::span<const std::size_t> indices,
@@ -300,18 +336,39 @@ class BatchedOtReceiver : public OtReceiver {
   /// See BatchedOtSender::pool_wiped().
   bool pool_wiped() const;
 
-  std::size_t remaining() const { return pool_.size() - next_; }
+  std::size_t remaining() const;
+  std::size_t remaining(std::size_t arity) const;
 
  private:
+  struct Pool {
+    std::size_t arity = 2;
+    std::vector<PrecomputedRecvSlot> slots;
+    std::size_t next = 0;
+  };
+
+  Pool& pool_for(std::size_t arity);
+
   NaorPinkasReceiver base_;
   Rng& rng_;
   std::size_t refill_batch_;
-  PPDS_SECRET std::vector<PrecomputedRecvSlot> pool_;
-  std::size_t next_ = 0;
+  std::vector<Pool> pools_;
   bool aborted_ = false;
 };
 
-/// Online phase: consumes one precomputed slot per 1-out-of-2 transfer.
+/// Online phase: consumes one precomputed slot per transfer. The receiver
+/// announces the public shift s = (index - choice) mod n, the sender
+/// answers with all n messages each XORed with the pad the shift aligns to
+/// the receiver's one known pad — 1 byte up, n * len bytes down, no
+/// public-key operations.
+void precomputed_send_1ofn(net::Endpoint& channel,
+                           const PrecomputedSendSlot& slot,
+                           std::span<const Bytes> messages);
+
+Bytes precomputed_receive_1ofn(net::Endpoint& channel,
+                               const PrecomputedRecvSlot& slot,
+                               std::size_t index, std::size_t message_len);
+
+/// Arity-2 wrappers (byte-compatible with the legacy Beaver online phase).
 void precomputed_send_1of2(net::Endpoint& channel,
                            const PrecomputedSendSlot& slot, const Bytes& m0,
                            const Bytes& m1);

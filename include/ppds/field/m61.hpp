@@ -25,17 +25,18 @@ class M61 {
 
   constexpr M61() = default;
 
-  /// From an unsigned residue (reduced mod p).
-  constexpr explicit M61(std::uint64_t v) : v_(v % kP) {}
+  /// From an unsigned residue, reduced mod p with the branch-free Mersenne
+  /// fold: v = hi * 2^61 + lo == hi + lo (mod 2^61 - 1). The folded sum is
+  /// at most kP + 7, so a single conditional subtract canonicalizes it.
+  constexpr explicit M61(std::uint64_t v) : v_((v & kP) + (v >> 61)) {
+    if (v_ >= kP) v_ -= kP;
+  }
 
   /// Embeds a signed integer: negatives map to p - |v|.
   static M61 from_signed(std::int64_t v) {
     if (v >= 0) return M61(static_cast<std::uint64_t>(v));
     const std::uint64_t mag = static_cast<std::uint64_t>(-(v + 1)) + 1;
-    M61 out;
-    out.v_ = kP - mag % kP;
-    if (out.v_ == kP) out.v_ = 0;
-    return out;
+    return M61(0) - M61(mag);
   }
 
   /// Interprets the residue as signed: values > p/2 are negative.

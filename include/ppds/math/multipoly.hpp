@@ -105,6 +105,14 @@ class CompiledMultiPoly {
   /// Per-term coefficients in source order.
   const std::vector<double>& coeffs() const { return coeffs_; }
 
+  /// DAG node index per term (kOne for the constant term), source order —
+  /// the flat view behind evaluate_with's term walk, for callers fusing
+  /// their own lane kernels over the compiled program.
+  const std::vector<std::uint32_t>& term_nodes() const { return term_node_; }
+
+  /// The compiled monomial DAG in graded order.
+  const MonomialDag& dag() const { return dag_; }
+
   /// CSR view of term \p t's exponents: parallel (variable, exponent) runs.
   std::span<const std::uint32_t> term_vars(std::size_t t) const {
     return std::span<const std::uint32_t>(csr_var_)
@@ -138,6 +146,29 @@ class CompiledMultiPoly {
     for (std::size_t t = 0; t < coeffs.size(); ++t) {
       const std::uint32_t node = term_node_[t];
       acc = acc + (node == kOne ? coeffs[t] : coeffs[t] * scratch[node]);
+    }
+    return acc;
+  }
+
+  /// Lane-parallel evaluate_with: \p x holds one packed lane per variable
+  /// (lane l of every entry is point l), coefficients stay scalar and are
+  /// broadcast at use. L must provide broadcast(R), operator+ and operator*
+  /// whose lanes match the scalar ops bit for bit (field::M61x8 does), so
+  /// lane l of the result equals evaluate_with at point l exactly — the
+  /// term walk is the same multiply-add chain, eight points per step.
+  template <typename R, typename L>
+  L evaluate_lanes(std::span<const R> coeffs, std::span<const L> x,
+                   std::vector<L>& scratch) const {
+    detail::require(coeffs.size() == coeffs_.size(),
+                    "CompiledMultiPoly: coefficient count mismatch");
+    detail::require(x.size() == arity_, "CompiledMultiPoly: arity mismatch");
+    scratch.resize(dag_.size());
+    dag_.evaluate(x, std::span<L>(scratch));
+    L acc{};
+    for (std::size_t t = 0; t < coeffs.size(); ++t) {
+      const std::uint32_t node = term_node_[t];
+      const L c = L::broadcast(coeffs[t]);
+      acc = acc + (node == kOne ? c : c * scratch[node]);
     }
     return acc;
   }

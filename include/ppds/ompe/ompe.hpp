@@ -71,6 +71,14 @@ struct OmpeParams {
   /// Off is only useful for baseline benchmarks and equivalence tests.
   bool use_eval_dag = true;
 
+  /// Run the field-backend point sweeps on packed Mersenne-61 lanes
+  /// (field::M61x8 — AVX2 when the CPU has it, bit-identical portable
+  /// kernels otherwise; see field/m61xn.hpp for the dispatch rules).
+  /// Transcripts are unchanged for every setting; off pins the scalar
+  /// reference path for A/B tests and benchmarks. Real-backend sweeps and
+  /// the naive (use_eval_dag = false) generic evaluator ignore it.
+  bool use_simd_field = true;
+
   /// Number of pairs the receiver keeps (polynomial degree p known).
   std::size_t m(unsigned p) const { return static_cast<std::size_t>(p) * q + 1; }
   /// Total number of disguised pairs.

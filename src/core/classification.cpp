@@ -112,6 +112,56 @@ std::vector<double> ClassificationProfile::transform(
   return tau;
 }
 
+std::vector<std::vector<double>> ClassificationProfile::transform_batch(
+    const std::vector<std::vector<double>>& samples) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(samples.size());
+  if (monomials.empty()) {
+    for (const std::vector<double>& sample : samples) {
+      detail::require(sample.size() == input_dim,
+                      "ClassificationProfile: sample dimension mismatch");
+      out.push_back(sample);
+    }
+    return out;
+  }
+  // Node-major SoA block: lane b of node i lives at block[i * kLanes + b].
+  // Each sample still sees the exact per-node multiply chain of
+  // transform(), so results are bit-identical; the lanes are independent
+  // chains, which is what lets the inner loop vectorize.
+  constexpr std::size_t kLanes = 8;
+  const std::size_t nodes = monomial_dag.size();
+  std::vector<double> block(nodes * kLanes);
+  std::size_t s0 = 0;
+  for (; s0 + kLanes <= samples.size(); s0 += kLanes) {
+    for (std::size_t b = 0; b < kLanes; ++b) {
+      detail::require(samples[s0 + b].size() == input_dim,
+                      "ClassificationProfile: sample dimension mismatch");
+    }
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const std::uint32_t parent = monomial_dag.parent[i];
+      const std::uint32_t var = monomial_dag.var[i];
+      double* lane = block.data() + i * kLanes;
+      if (parent == math::MonomialDag::kOne) {
+        for (std::size_t b = 0; b < kLanes; ++b) {
+          lane[b] = samples[s0 + b][var];
+        }
+      } else {
+        const double* up = block.data() + parent * kLanes;
+        for (std::size_t b = 0; b < kLanes; ++b) {
+          lane[b] = up[b] * samples[s0 + b][var];
+        }
+      }
+    }
+    for (std::size_t b = 0; b < kLanes; ++b) {
+      std::vector<double> tau(nodes);
+      for (std::size_t i = 0; i < nodes; ++i) tau[i] = block[i * kLanes + b];
+      out.push_back(std::move(tau));
+    }
+  }
+  for (; s0 < samples.size(); ++s0) out.push_back(transform(samples[s0]));
+  return out;
+}
+
 math::MultiPoly expand_decision_function(const svm::SvmModel& model,
                                          const ClassificationProfile& profile) {
   const auto& kernel = profile.kernel;
@@ -246,9 +296,9 @@ void ClassificationServer::serve(net::Endpoint& channel, std::size_t count,
   // (the client's matching batch call does the same).
   channel.set_stage(net::Stage::kOtSetup);
   try {
-    ot.prepare_sender(
-        channel,
-        count * ot_slots_per_query(config_.ompe, profile_.declared_degree));
+    const auto demand =
+        ot_demand_per_query(config_.ompe, profile_.declared_degree);
+    ot.prepare_sender(channel, demand, count);
     for (std::size_t i = 0; i < count; ++i) {
       // Fresh positive amplifier per query — the Level-2 defense of Fig. 5/6.
       // The range is deliberately wide (2^-8 .. 2^8): multiplicative positive
@@ -307,12 +357,23 @@ std::vector<double> ClassificationClient::query_values_batch(
   OtBundle ot(config_, rng);
   channel.set_stage(net::Stage::kOtSetup);
   try {
-    ot.prepare_receiver(
-        channel,
-        samples.size() *
-            ot_slots_per_query(config_.ompe, profile_.declared_degree));
+    const auto demand =
+        ot_demand_per_query(config_.ompe, profile_.declared_degree);
+    ot.prepare_receiver(channel, demand, samples.size());
     std::vector<double> out;
     out.reserve(samples.size());
+    if (config_.ompe.use_simd_field && !profile_.monomials.empty()) {
+      // Transform the whole batch up front through the SoA lane sweep
+      // (bit-identical per sample to transform()).
+      const std::vector<std::vector<double>> taus =
+          profile_.transform_batch(samples);
+      for (const auto& tau : taus) {
+        out.push_back(ompe::run_receiver(
+            channel, tau, profile_.declared_degree, profile_.poly_arity,
+            config_.ompe, ot.receiver(), rng));
+      }
+      return out;
+    }
     for (const auto& sample : samples) {
       const std::vector<double> tau = profile_.transform(sample);
       out.push_back(ompe::run_receiver(channel, tau, profile_.declared_degree,

@@ -43,6 +43,50 @@ void OtBundle::prepare_receiver(net::Endpoint& channel, std::size_t slots) {
   if (batched_receiver_ != nullptr) batched_receiver_->reserve(channel, slots);
 }
 
+namespace {
+
+/// Merges duplicate arities (reserve() has ensure-at-least semantics, so
+/// two blocks of the same arity must be summed before reserving) and scales
+/// by the batch size. Order of first appearance is preserved so both
+/// parties issue their offline round trips in the same sequence.
+std::vector<OtDemand> merge_demands(std::span<const OtDemand> demands,
+                                    std::size_t repeat) {
+  std::vector<OtDemand> merged;
+  for (const OtDemand& d : demands) {
+    if (d.count == 0) continue;
+    bool found = false;
+    for (OtDemand& m : merged) {
+      if (m.arity == d.arity) {
+        m.count += d.count * repeat;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(OtDemand{d.arity, d.count * repeat});
+  }
+  return merged;
+}
+
+}  // namespace
+
+void OtBundle::prepare_sender(net::Endpoint& channel,
+                              std::span<const OtDemand> demands,
+                              std::size_t repeat) {
+  if (batched_sender_ == nullptr) return;
+  for (const OtDemand& d : merge_demands(demands, repeat)) {
+    batched_sender_->reserve(channel, d.arity, d.count);
+  }
+}
+
+void OtBundle::prepare_receiver(net::Endpoint& channel,
+                                std::span<const OtDemand> demands,
+                                std::size_t repeat) {
+  if (batched_receiver_ == nullptr) return;
+  for (const OtDemand& d : merge_demands(demands, repeat)) {
+    batched_receiver_->reserve(channel, d.arity, d.count);
+  }
+}
+
 void OtBundle::abort() noexcept {
   if (batched_sender_ != nullptr) batched_sender_->abort();
   if (batched_receiver_ != nullptr) batched_receiver_->abort();
@@ -63,6 +107,14 @@ std::size_t ot_slots_per_query(const ompe::OmpeParams& params,
   const std::size_t m = params.m(degree);
   const std::size_t big_m = params.big_m(degree);
   return crypto::PrecomputedOtSender::slots_for(big_m, m);
+}
+
+std::vector<OtDemand> ot_demand_per_query(const ompe::OmpeParams& params,
+                                          unsigned degree) {
+  const std::size_t m = params.m(degree);
+  const std::size_t big_m = params.big_m(degree);
+  if (big_m <= crypto::kMaxDirectArity) return {OtDemand{big_m, m}};
+  return {OtDemand{2, ot_slots_per_query(params, degree)}};
 }
 
 }  // namespace ppds::core

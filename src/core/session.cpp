@@ -38,7 +38,8 @@ crypto::Digest protocol_digest(const ClassificationProfile& profile,
   w.f64(config.ompe.node_lo);
   w.f64(config.ompe.node_hi);
   // Local performance knobs (fixed_base_tables, ompe.eval_threads,
-  // ompe.use_eval_dag) are deliberately NOT hashed: they never change wire
+  // ompe.use_eval_dag, ompe.use_simd_field) are deliberately NOT hashed:
+  // they never change wire
   // bytes, so the parties need not agree on them.
   return crypto::sha256(w.data());
 }

@@ -222,9 +222,12 @@ void SimilarityServer::serve(net::Endpoint& channel, Rng& rng) const {
       kernelized_ ? kernel_.degree : 1;
   channel.set_stage(net::Stage::kOtSetup);
   try {
-    ot.prepare_sender(channel,
-                      2 * ot_slots_per_query(config_.ompe, stage1_degree) +
-                          ot_slots_per_query(config_.ompe, 4));
+    std::vector<OtDemand> demands =
+        ot_demand_per_query(config_.ompe, stage1_degree);
+    for (OtDemand& d : demands) d.count *= 2;
+    const auto stage2 = ot_demand_per_query(config_.ompe, 4);
+    demands.insert(demands.end(), stage2.begin(), stage2.end());
+    ot.prepare_sender(channel, demands);
 
     // Step 0: Bob's vector moduli.
     channel.set_stage(net::Stage::kNorms);
@@ -309,9 +312,12 @@ double SimilarityClient::evaluate(net::Endpoint& channel, Rng& rng) const {
       kernelized_ ? kernel_.degree : 1;
   channel.set_stage(net::Stage::kOtSetup);
   try {
-    ot.prepare_receiver(channel,
-                        2 * ot_slots_per_query(config_.ompe, prepare_degree) +
-                            ot_slots_per_query(config_.ompe, 4));
+    std::vector<OtDemand> demands =
+        ot_demand_per_query(config_.ompe, prepare_degree);
+    for (OtDemand& d : demands) d.count *= 2;
+    const auto stage2 = ot_demand_per_query(config_.ompe, 4);
+    demands.insert(demands.end(), stage2.begin(), stage2.end());
+    ot.prepare_receiver(channel, demands);
 
     channel.set_stage(net::Stage::kNorms);
     ByteWriter w;

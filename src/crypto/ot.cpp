@@ -1,6 +1,7 @@
 #include "ppds/crypto/ot.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "ppds/common/ct.hpp"
 #include "ppds/common/error.hpp"
@@ -131,13 +132,18 @@ void NaorPinkasSender::send_1of2(net::Endpoint& channel, const Bytes& m0,
 
   const Bytes pk0_bytes = channel.recv();
   const mpz_class pk0 = group_.deserialize(pk0_bytes);
-  const mpz_class pk1 = group_.mul(c, group_.invert(pk0));
 
   const mpz_class r = group_.random_exponent(rng_);
   ByteWriter w;
   w.raw(group_.serialize(group_.pow_g(r)));
   w.raw(xor_pad(group_.hash_to_key(group_.pow(pk0, r), 0), m0));
-  w.raw(xor_pad(group_.hash_to_key(group_.pow(pk1, r), 1), m1));
+  // PK_1^r = (C / PK_0)^r = C^r * PK_0^{q-r}: one joint multi-exponentiation
+  // instead of an inversion plus a second full exponentiation. (PK_0 has
+  // order q for honest receivers, so PK_0^{q-r} == PK_0^{-r}; the model is
+  // semi-honest.)
+  const std::array<mpz_class, 2> bases{c, pk0};
+  const std::array<mpz_class, 2> exps{r, group_.q() - r};
+  w.raw(xor_pad(group_.hash_to_key(group_.multi_exp(bases, exps), 1), m1));
   channel.send(w.take());
 }
 
@@ -265,8 +271,7 @@ PrecomputedOtSender::PrecomputedOtSender(net::Endpoint& channel,
 
 PrecomputedOtSender::~PrecomputedOtSender() {
   for (PrecomputedSendSlot& slot : slots_) {
-    secure_wipe(std::span(slot.r0));
-    secure_wipe(std::span(slot.r1));
+    for (Bytes& pad : slot.pads) secure_wipe(std::span(pad));
   }
 }
 
@@ -334,69 +339,103 @@ std::vector<Bytes> PrecomputedOtReceiver::receive(
 /// --- Batched amortized precomputation -------------------------------------------
 ///
 /// One round trip fills N slots (Naor-Pinkas amortization): the sender
-/// reuses a single (C = g^a, g^r) pair for the whole batch, the receiver
-/// answers with all N blinded keys in one bundle, and the random pads are
-/// DERIVED as H(shared_secret, 2i + b) rather than chosen and encrypted —
-/// there is no third message. Per slot the sender pays one full
-/// exponentiation (pk0^r; pk1^r falls out as C^r * (pk0^r)^{-1}) and the
-/// receiver two table-served ones (g^x and (g^r)^x via a per-batch window
-/// table for g^r). Semi-honest security follows from the original
-/// construction: the receiver cannot compute both H inputs without solving
-/// CDH for (C, g^r), and the per-slot tag keeps pads independent.
+/// reuses a single (C_1..C_{n-1} = g^{a_j}, g^r) tuple for the whole batch,
+/// the receiver answers with all N blinded keys in one bundle, and the
+/// random pads are DERIVED as H(shared_secret, n*i + j) rather than chosen
+/// and encrypted — there is no third message. Per slot the sender pays one
+/// full exponentiation (u = PK_0^r; pad j > 0 falls out as C_j^r * u^{-1}
+/// with the u^{-1} batch-inverted across the whole bundle) and the receiver
+/// two table-served ones (g^x and (g^r)^x via a per-batch window table for
+/// g^r). Semi-honest security follows from the original construction: the
+/// receiver cannot compute two H inputs without solving CDH for (C_j, g^r),
+/// and the per-slot tag keeps pads independent. Arity 2 reproduces the
+/// legacy 1-out-of-2 batch byte for byte.
 
 std::vector<PrecomputedSendSlot> precompute_ot_sender(
     net::Endpoint& channel, NaorPinkasSender& sender, std::size_t count,
-    std::size_t pad_len, Rng& rng) {
+    std::size_t pad_len, Rng& rng, std::size_t arity) {
   detail::require(pad_len >= 1 && pad_len <= 32,
                   "precompute ot: pad_len must be in [1, 32]");
+  detail::require(arity >= 2 && arity <= kMaxDirectArity,
+                  "precompute ot: arity must be in [2, kMaxDirectArity]");
   std::vector<PrecomputedSendSlot> slots(count);
+  for (PrecomputedSendSlot& slot : slots) slot.pads.resize(arity);
   if (count == 0) return slots;
   const DhGroup& group = sender.group();
 
-  const mpz_class a = group.random_exponent(rng);
+  // a_1..a_{n-1} before r: arity 2 draws (a, r) in the legacy order, so
+  // seeded offline transcripts are unchanged.
+  std::vector<mpz_class> a(arity - 1);
+  for (mpz_class& aj : a) aj = group.random_exponent(rng);
   const mpz_class r = group.random_exponent(rng);
-  const mpz_class c = group.pow_g(a);
-  const mpz_class gr = group.pow_g(r);
-  // C^r = g^{a*r mod q}: the sender knows both exponents, so even this
-  // stays on the fixed-base path.
-  const mpz_class c_r = group.pow_g(a * r % group.q());
 
   ByteWriter announce;
-  announce.raw(group.serialize(c));
+  for (const mpz_class& aj : a) announce.raw(group.serialize(group.pow_g(aj)));
+  const mpz_class gr = group.pow_g(r);
   announce.raw(group.serialize(gr));
-  channel.send(announce.take());
+  channel.send(PPDS_DECLASSIFY(
+      announce.take(),
+      "announce = (C_1..C_{n-1}, g^r): Naor-Pinkas public keys; the "
+      "exponents never leave the sender and recovering them is DLOG"));
+
+  // C_j^r = g^{a_j * r mod q}: the sender knows both exponents, so even
+  // these stay on the fixed-base path.
+  std::vector<mpz_class> c_r(arity - 1);
+  for (std::size_t j = 0; j + 1 < arity; ++j) {
+    c_r[j] = group.pow_g(a[j] * r % group.q());
+  }
 
   const Bytes bundle = channel.recv();
   ByteReader rd(bundle);
+  std::vector<mpz_class> u(count);
   for (std::size_t i = 0; i < count; ++i) {
     const mpz_class pk0 = group.deserialize(rd.raw(group.element_bytes()));
-    const mpz_class s0 = group.pow(pk0, r);  // the one full exp per slot
-    const mpz_class s1 = group.mul(c_r, group.invert(s0));
-    PPDS_SECRET Digest k0 = group.hash_to_key(s0, 2 * i);
-    PPDS_SECRET Digest k1 = group.hash_to_key(s1, 2 * i + 1);
-    slots[i].r0.assign(k0.begin(), k0.begin() + static_cast<std::ptrdiff_t>(pad_len));
-    slots[i].r1.assign(k1.begin(), k1.begin() + static_cast<std::ptrdiff_t>(pad_len));
-    secure_wipe(std::span(k0));
-    secure_wipe(std::span(k1));
+    u[i] = group.pow(pk0, r);  // the one full exp per slot
   }
   rd.expect_end();
+  // One Montgomery batch inversion replaces count per-slot inversions.
+  std::vector<mpz_class> u_inv = u;
+  group.batch_invert(u_inv);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    PPDS_SECRET Digest k0 = group.hash_to_key(u[i], arity * i);
+    slots[i].pads[0].assign(k0.begin(),
+                            k0.begin() + static_cast<std::ptrdiff_t>(pad_len));
+    secure_wipe(std::span(k0));
+    for (std::size_t j = 1; j < arity; ++j) {
+      PPDS_SECRET Digest kj =
+          group.hash_to_key(group.mul(c_r[j - 1], u_inv[i]), arity * i + j);
+      slots[i].pads[j].assign(
+          kj.begin(), kj.begin() + static_cast<std::ptrdiff_t>(pad_len));
+      secure_wipe(std::span(kj));
+    }
+  }
   return slots;
 }
 
 std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
     net::Endpoint& channel, NaorPinkasReceiver& receiver, std::size_t count,
-    std::size_t pad_len, Rng& rng) {
+    std::size_t pad_len, Rng& rng, std::size_t arity) {
   detail::require(pad_len >= 1 && pad_len <= 32,
                   "precompute ot: pad_len must be in [1, 32]");
+  detail::require(arity >= 2 && arity <= kMaxDirectArity,
+                  "precompute ot: arity must be in [2, kMaxDirectArity]");
   std::vector<PrecomputedRecvSlot> slots(count);
+  for (PrecomputedRecvSlot& slot : slots) {
+    slot.arity = static_cast<std::uint32_t>(arity);
+  }
   if (count == 0) return slots;
   const DhGroup& group = receiver.group();
+  const std::size_t eb = group.element_bytes();
 
   const Bytes announce = channel.recv();
-  ByteReader rd(announce);
-  const mpz_class c = group.deserialize(rd.raw(group.element_bytes()));
-  const mpz_class gr = group.deserialize(rd.raw(group.element_bytes()));
-  rd.expect_end();
+  detail::require(announce.size() == arity * eb,
+                  "precompute ot: bad announce");
+  // Flat view of C_1..C_{n-1}; g^r is the trailing element.
+  const std::span<const std::uint8_t> c_flat(announce.data(),
+                                             (arity - 1) * eb);
+  const mpz_class gr =
+      group.deserialize(std::span(announce).subspan((arity - 1) * eb, eb));
 
   // Window table for the batch-constant base g^r; the build costs a few
   // full exponentiations' worth of multiplies, so only bother for batches
@@ -407,67 +446,132 @@ std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
   ByteWriter w;
   for (std::size_t i = 0; i < count; ++i) {
     PrecomputedRecvSlot& slot = slots[i];
-    slot.choice = (rng() & 1) != 0;
+    // One rng() word per slot whatever the arity. Arity 2 keeps the legacy
+    // low-bit draw (seeded offline transcripts unchanged); larger arities
+    // map the word to [0, arity) with a multiply-shift.
+    const std::uint64_t word = rng();
+    if (arity == 2) {
+      slot.choice = static_cast<std::uint32_t>(word & 1);
+    } else {
+      __extension__ using u128 = unsigned __int128;
+      slot.choice =
+          static_cast<std::uint32_t>((static_cast<u128>(word) * arity) >> 64);
+    }
     const mpz_class x = group.random_exponent(rng);
-    const mpz_class pk_choice = group.pow_g(x);
-    const mpz_class pk_other = group.mul(c, group.invert(pk_choice));
+    const mpz_class gx = group.pow_g(x);
+    const Bytes gx_bytes = group.serialize(gx);
+
+    // Constant-time gather of C_idx over the whole announce. idx == choice
+    // except for choice == 0, where idx = 1 is a dummy (the gathered
+    // element is discarded by the select below) — every slot scans all
+    // n - 1 elements and performs the same multiply/invert either way.
+    const std::uint32_t idx =
+        slot.choice + static_cast<std::uint32_t>(slot.choice == 0);
+    Bytes sel(eb, 0);
+    for (std::size_t j = 1; j < arity; ++j) {
+      const std::uint8_t mask = static_cast<std::uint8_t>(
+          0u - static_cast<unsigned>(j == idx));
+      const std::size_t base = (j - 1) * eb;
+      for (std::size_t b = 0; b < eb; ++b) sel[b] |= c_flat[base + b] & mask;
+    }
+    const Bytes blinded_bytes =
+        group.serialize(group.mul(group.deserialize(sel), group.invert(gx)));
+
+    // Byte-level constant-time select: announce g^x when choice == 0, the
+    // blinded C_choice * g^{-x} otherwise.
+    const std::uint8_t keep_gx = static_cast<std::uint8_t>(
+        0u - static_cast<unsigned>(slot.choice == 0));
+    Bytes pk(eb, 0);
+    for (std::size_t b = 0; b < eb; ++b) {
+      pk[b] = static_cast<std::uint8_t>((gx_bytes[b] & keep_gx) |
+                                        (blinded_bytes[b] & ~keep_gx));
+    }
     w.raw(PPDS_DECLASSIFY(
-        group.serialize(slot.choice ? pk_other : pk_choice),
-        "blinded key: the announced PK_0 is uniform whichever pad the "
-        "receiver keeps; recovering the choice bit needs CDH"));
+        pk,
+        "blinded key: the announced PK_0 is g^x or C_choice * g^-x, either "
+        "way uniform; recovering the choice index needs CDH"));
+
     const mpz_class shared = group.pow_with(gr_table.get(), gr, x);
-    PPDS_SECRET Digest key =
-        group.hash_to_key(shared, 2 * i + (slot.choice ? 1 : 0));
-    slot.pad.assign(key.begin(), key.begin() + static_cast<std::ptrdiff_t>(pad_len));
+    PPDS_SECRET Digest key = group.hash_to_key(shared, arity * i + slot.choice);
+    slot.pad.assign(key.begin(),
+                    key.begin() + static_cast<std::ptrdiff_t>(pad_len));
     secure_wipe(std::span(key));
   }
   channel.send(w.take());
   return slots;
 }
 
-void precomputed_send_1of2(net::Endpoint& channel,
-                           const PrecomputedSendSlot& slot, const Bytes& m0,
-                           const Bytes& m1) {
-  detail::require(m0.size() == slot.r0.size() && m1.size() == slot.r1.size(),
-                  "precomputed ot: length mismatch");
-  // Receiver first announces whether its real choice differs from the
-  // precomputed random choice.
-  const Bytes flip_msg = channel.recv();
-  detail::require(flip_msg.size() == 1, "precomputed ot: bad flip message");
-  const bool flip = flip_msg[0] != 0;
+void precomputed_send_1ofn(net::Endpoint& channel,
+                           const PrecomputedSendSlot& slot,
+                           std::span<const Bytes> messages) {
+  const std::size_t n = slot.pads.size();
+  detail::require(n >= 2, "precomputed ot: malformed slot");
+  detail::require(messages.size() == n, "precomputed ot: arity mismatch");
+  check_equal_lengths(messages);
+  const std::size_t len = messages.front().size();
+  detail::require(len >= 1 && len <= slot.pads.front().size(),
+                  "precomputed ot: message longer than pad");
+
+  // Receiver first announces the public correction shift
+  // s = (index - choice) mod n.
+  const Bytes shift_msg = channel.recv();
+  detail::require(shift_msg.size() == 1, "precomputed ot: bad shift message");
+  const std::size_t s = shift_msg[0];
+  detail::require(s < n, "precomputed ot: shift out of range");
 
   ByteWriter w;
-  Bytes e0 = m0, e1 = m1;
-  const Bytes& pad_for_0 = flip ? slot.r1 : slot.r0;
-  const Bytes& pad_for_1 = flip ? slot.r0 : slot.r1;
-  for (std::size_t i = 0; i < e0.size(); ++i) e0[i] ^= pad_for_0[i];
-  for (std::size_t i = 0; i < e1.size(); ++i) e1[i] ^= pad_for_1[i];
-  w.raw(e0);
-  w.raw(e1);
+  for (std::size_t j = 0; j < n; ++j) {
+    Bytes e = messages[j];
+    // s is public (already declassified by the receiver): % is fine here.
+    const Bytes& pad = slot.pads[(j + n - s) % n];
+    for (std::size_t b = 0; b < len; ++b) e[b] ^= pad[b];
+    w.raw(e);
+  }
   channel.send(PPDS_DECLASSIFY(
       w.take(), "one-time-pad ciphertexts: each message is XORed with a "
                 "fresh precomputed pad the receiver knows at most one of"));
 }
 
+Bytes precomputed_receive_1ofn(net::Endpoint& channel,
+                               const PrecomputedRecvSlot& slot,
+                               std::size_t index, std::size_t message_len) {
+  const std::size_t n = slot.arity;
+  detail::require(n >= 2, "precomputed ot: malformed slot");
+  detail::require(index < n, "ot_1ofn: index out of range");
+  detail::require(message_len >= 1 && message_len <= slot.pad.size(),
+                  "precomputed ot: message longer than pad");
+
+  // s = (index - choice) mod n without a secret modulo: choice < n, so a
+  // single conditional subtraction folds the sum back into range.
+  const std::size_t s_raw = index + n - slot.choice;
+  const std::size_t s = s_raw - n * static_cast<std::size_t>(s_raw >= n);
+  channel.send(PPDS_DECLASSIFY(
+      Bytes{static_cast<std::uint8_t>(s)},
+      "correction shift: s = index - choice mod n with a uniform "
+      "precomputed choice is uniform and independent of the real index"));
+
+  const Bytes reply = channel.recv();
+  detail::require(reply.size() == n * message_len, "precomputed ot: bad reply");
+  const std::size_t off = index * message_len;
+  Bytes out(reply.begin() + static_cast<std::ptrdiff_t>(off),
+            reply.begin() + static_cast<std::ptrdiff_t>(off + message_len));
+  for (std::size_t i = 0; i < message_len; ++i) out[i] ^= slot.pad[i];
+  return out;
+}
+
+void precomputed_send_1of2(net::Endpoint& channel,
+                           const PrecomputedSendSlot& slot, const Bytes& m0,
+                           const Bytes& m1) {
+  const std::array<Bytes, 2> messages{m0, m1};
+  precomputed_send_1ofn(channel, slot, messages);
+}
+
 Bytes precomputed_receive_1of2(net::Endpoint& channel,
                                const PrecomputedRecvSlot& slot,
                                PPDS_SECRET bool choice) {
-  const bool flip = choice != slot.choice;
-  channel.send(PPDS_DECLASSIFY(
-      Bytes{static_cast<std::uint8_t>(flip)},
-      "correction bit: flip = choice XOR precomputed random choice is "
-      "uniform and independent of the real choice"));
-
-  const Bytes reply = channel.recv();
-  const std::size_t len = slot.pad.size();
-  detail::require(reply.size() == 2 * len, "precomputed ot: bad reply");
-  // Branchless half-select; both halves of the 2*len reply typically share
-  // a cache line for 32-byte pads, keeping the copy's footprint uniform.
-  const std::size_t off = static_cast<std::size_t>(choice) * len;
-  Bytes out(reply.begin() + static_cast<std::ptrdiff_t>(off),
-            reply.begin() + static_cast<std::ptrdiff_t>(off + len));
-  for (std::size_t i = 0; i < len; ++i) out[i] ^= slot.pad[i];
-  return out;
+  return precomputed_receive_1ofn(channel, slot,
+                                  static_cast<std::size_t>(choice),
+                                  slot.pad.size());
 }
 
 OtAbortAudit& ot_abort_audit() {
@@ -477,6 +581,19 @@ OtAbortAudit& ot_abort_audit() {
 
 /// --- Batched session facade -----------------------------------------------------
 
+namespace {
+
+void wipe_send_slot(PrecomputedSendSlot& slot) {
+  for (Bytes& pad : slot.pads) secure_wipe(std::span(pad));
+}
+
+void wipe_recv_slot(PrecomputedRecvSlot& slot) {
+  secure_wipe(std::span(slot.pad));
+  slot.choice = 0;
+}
+
+}  // namespace
+
 BatchedOtSender::BatchedOtSender(const DhGroup& group, Rng& rng,
                                  std::size_t refill_batch)
     : base_(group, rng),
@@ -484,52 +601,76 @@ BatchedOtSender::BatchedOtSender(const DhGroup& group, Rng& rng,
       refill_batch_(std::max<std::size_t>(refill_batch, 1)) {}
 
 BatchedOtSender::~BatchedOtSender() {
-  for (PrecomputedSendSlot& slot : pool_) {
-    secure_wipe(std::span(slot.r0));
-    secure_wipe(std::span(slot.r1));
+  for (Pool& pool : pools_) {
+    for (PrecomputedSendSlot& slot : pool.slots) wipe_send_slot(slot);
   }
 }
 
 void BatchedOtSender::abort() noexcept {
-  for (PrecomputedSendSlot& slot : pool_) {
-    secure_wipe(std::span(slot.r0));
-    secure_wipe(std::span(slot.r1));
+  for (Pool& pool : pools_) {
+    for (PrecomputedSendSlot& slot : pool.slots) wipe_send_slot(slot);
+    pool.next = pool.slots.size();  // nothing left to consume
   }
-  next_ = pool_.size();  // nothing left to consume
   aborted_ = true;
   ot_abort_audit().aborts.fetch_add(1);
   if (pool_wiped()) ot_abort_audit().wiped.fetch_add(1);
 }
 
 bool BatchedOtSender::pool_wiped() const {
-  for (const PrecomputedSendSlot& slot : pool_) {
-    for (std::uint8_t b : slot.r0) {
-      // abort-audit hook: only ever runs on a pool that abort() has zeroed,
-      // so this scans dead key material. taint: allow(secret-branch)
-      if (b != 0) return false;
-    }
-    for (std::uint8_t b : slot.r1) {
-      // abort-audit hook: see above. taint: allow(secret-branch)
-      if (b != 0) return false;
+  for (const Pool& pool : pools_) {
+    for (const PrecomputedSendSlot& slot : pool.slots) {
+      for (const Bytes& pad : slot.pads) {
+        for (std::uint8_t b : pad) {
+          // abort-audit hook: only ever runs on pools that abort() zeroed,
+          // so this scans dead key material. taint: allow(secret-branch)
+          if (b != 0) return false;
+        }
+      }
     }
   }
   return true;
 }
 
-void BatchedOtSender::reserve(net::Endpoint& channel, std::size_t slots) {
-  if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
-  if (remaining() >= slots) return;
-  const std::size_t top_up = slots - remaining();
-  // Compact the consumed prefix (its pads are spent key material).
-  for (std::size_t i = 0; i < next_; ++i) {
-    secure_wipe(std::span(pool_[i].r0));
-    secure_wipe(std::span(pool_[i].r1));
+std::size_t BatchedOtSender::remaining() const {
+  std::size_t total = 0;
+  for (const Pool& pool : pools_) total += pool.slots.size() - pool.next;
+  return total;
+}
+
+std::size_t BatchedOtSender::remaining(std::size_t arity) const {
+  for (const Pool& pool : pools_) {
+    if (pool.arity == arity) return pool.slots.size() - pool.next;
   }
-  pool_.erase(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(next_));
-  next_ = 0;
-  auto fresh = precompute_ot_sender(channel, base_, top_up, 32, rng_);
-  pool_.insert(pool_.end(), std::make_move_iterator(fresh.begin()),
-               std::make_move_iterator(fresh.end()));
+  return 0;
+}
+
+BatchedOtSender::Pool& BatchedOtSender::pool_for(std::size_t arity) {
+  for (Pool& pool : pools_) {
+    if (pool.arity == arity) return pool;
+  }
+  pools_.push_back(Pool{arity, {}, 0});
+  return pools_.back();
+}
+
+void BatchedOtSender::reserve(net::Endpoint& channel, std::size_t slots) {
+  reserve(channel, 2, slots);
+}
+
+void BatchedOtSender::reserve(net::Endpoint& channel, std::size_t arity,
+                              std::size_t count) {
+  if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
+  Pool& pool = pool_for(arity);
+  const std::size_t have = pool.slots.size() - pool.next;
+  if (have >= count) return;
+  const std::size_t top_up = count - have;
+  // Compact the consumed prefix (its pads are spent key material).
+  for (std::size_t i = 0; i < pool.next; ++i) wipe_send_slot(pool.slots[i]);
+  pool.slots.erase(pool.slots.begin(),
+                   pool.slots.begin() + static_cast<std::ptrdiff_t>(pool.next));
+  pool.next = 0;
+  auto fresh = precompute_ot_sender(channel, base_, top_up, 32, rng_, arity);
+  pool.slots.insert(pool.slots.end(), std::make_move_iterator(fresh.begin()),
+                    std::make_move_iterator(fresh.end()));
 }
 
 void BatchedOtSender::send(net::Endpoint& channel,
@@ -537,20 +678,33 @@ void BatchedOtSender::send(net::Endpoint& channel,
   if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
   check_equal_lengths(messages);
   detail::require(k >= 1 && k <= messages.size(), "ot: bad k");
+  const std::size_t n = messages.size();
+  if (n == 1) {
+    for (std::size_t i = 0; i < k; ++i) channel.send(messages.front());
+    return;
+  }
   // Symmetric auto-refill: both parties derive the same need from the
   // transfer shape and the same pool level from identical consumption.
-  const std::size_t needed = k * index_bits(messages.size());
-  if (remaining() < needed) {
-    reserve(channel, std::max(needed, refill_batch_));
-  }
-  for (std::size_t i = 0; i < k; ++i) {
-    if (messages.size() == 1) {
-      channel.send(messages.front());
-      continue;
+  if (n <= kMaxDirectArity) {
+    // Direct 1-of-n slots: one slot (one offline exponentiation) per
+    // transfer instead of ceil(log2 n) bit-decomposition slots.
+    if (remaining(n) < k) reserve(channel, n, std::max(k, refill_batch_));
+    Pool& pool = pool_for(n);
+    for (std::size_t i = 0; i < k; ++i) {
+      precomputed_send_1ofn(channel, pool.slots[pool.next++], messages);
     }
+    return;
+  }
+  const std::size_t needed = k * index_bits(n);
+  if (remaining(2) < needed) {
+    reserve(channel, 2, std::max(needed, refill_batch_));
+  }
+  Pool& pool = pool_for(2);
+  for (std::size_t i = 0; i < k; ++i) {
     send_1ofn_impl(channel, messages, rng_,
                    [&](const Bytes& k0, const Bytes& k1) {
-                     precomputed_send_1of2(channel, pool_[next_++], k0, k1);
+                     precomputed_send_1of2(channel, pool.slots[pool.next++],
+                                           k0, k1);
                    });
   }
 }
@@ -562,45 +716,73 @@ BatchedOtReceiver::BatchedOtReceiver(const DhGroup& group, Rng& rng,
       refill_batch_(std::max<std::size_t>(refill_batch, 1)) {}
 
 BatchedOtReceiver::~BatchedOtReceiver() {
-  for (PrecomputedRecvSlot& slot : pool_) {
-    secure_wipe(std::span(slot.pad));
+  for (Pool& pool : pools_) {
+    for (PrecomputedRecvSlot& slot : pool.slots) wipe_recv_slot(slot);
   }
 }
 
 void BatchedOtReceiver::abort() noexcept {
-  for (PrecomputedRecvSlot& slot : pool_) {
-    secure_wipe(std::span(slot.pad));
-    slot.choice = false;
+  for (Pool& pool : pools_) {
+    for (PrecomputedRecvSlot& slot : pool.slots) wipe_recv_slot(slot);
+    pool.next = pool.slots.size();
   }
-  next_ = pool_.size();
   aborted_ = true;
   ot_abort_audit().aborts.fetch_add(1);
   if (pool_wiped()) ot_abort_audit().wiped.fetch_add(1);
 }
 
 bool BatchedOtReceiver::pool_wiped() const {
-  for (const PrecomputedRecvSlot& slot : pool_) {
-    for (std::uint8_t b : slot.pad) {
-      // abort-audit hook: only ever runs on a pool that abort() has zeroed,
-      // so this scans dead key material. taint: allow(secret-branch)
-      if (b != 0) return false;
+  for (const Pool& pool : pools_) {
+    for (const PrecomputedRecvSlot& slot : pool.slots) {
+      for (std::uint8_t b : slot.pad) {
+        // abort-audit hook: only ever runs on pools that abort() zeroed,
+        // so this scans dead key material. taint: allow(secret-branch)
+        if (b != 0) return false;
+      }
     }
   }
   return true;
 }
 
-void BatchedOtReceiver::reserve(net::Endpoint& channel, std::size_t slots) {
-  if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
-  if (remaining() >= slots) return;
-  const std::size_t top_up = slots - remaining();
-  for (std::size_t i = 0; i < next_; ++i) {
-    secure_wipe(std::span(pool_[i].pad));
+std::size_t BatchedOtReceiver::remaining() const {
+  std::size_t total = 0;
+  for (const Pool& pool : pools_) total += pool.slots.size() - pool.next;
+  return total;
+}
+
+std::size_t BatchedOtReceiver::remaining(std::size_t arity) const {
+  for (const Pool& pool : pools_) {
+    if (pool.arity == arity) return pool.slots.size() - pool.next;
   }
-  pool_.erase(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(next_));
-  next_ = 0;
-  auto fresh = precompute_ot_receiver(channel, base_, top_up, 32, rng_);
-  pool_.insert(pool_.end(), std::make_move_iterator(fresh.begin()),
-               std::make_move_iterator(fresh.end()));
+  return 0;
+}
+
+BatchedOtReceiver::Pool& BatchedOtReceiver::pool_for(std::size_t arity) {
+  for (Pool& pool : pools_) {
+    if (pool.arity == arity) return pool;
+  }
+  pools_.push_back(Pool{arity, {}, 0});
+  return pools_.back();
+}
+
+void BatchedOtReceiver::reserve(net::Endpoint& channel, std::size_t slots) {
+  reserve(channel, 2, slots);
+}
+
+void BatchedOtReceiver::reserve(net::Endpoint& channel, std::size_t arity,
+                                std::size_t count) {
+  if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
+  Pool& pool = pool_for(arity);
+  const std::size_t have = pool.slots.size() - pool.next;
+  if (have >= count) return;
+  const std::size_t top_up = count - have;
+  for (std::size_t i = 0; i < pool.next; ++i) wipe_recv_slot(pool.slots[i]);
+  pool.slots.erase(pool.slots.begin(),
+                   pool.slots.begin() + static_cast<std::ptrdiff_t>(pool.next));
+  pool.next = 0;
+  auto fresh = precompute_ot_receiver(channel, base_, top_up, 32, rng_, arity);
+  pool.slots.insert(pool.slots.end(), std::make_move_iterator(fresh.begin()),
+                    std::make_move_iterator(fresh.end()));
 }
 
 std::vector<Bytes> BatchedOtReceiver::receive(
@@ -608,21 +790,38 @@ std::vector<Bytes> BatchedOtReceiver::receive(
     std::size_t n, std::size_t message_len) {
   if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
   detail::require(!indices.empty() && indices.size() <= n, "ot: bad indices");
-  const std::size_t needed = indices.size() * index_bits(n);
-  if (remaining() < needed) {
-    reserve(channel, std::max(needed, refill_batch_));
+  for (std::size_t index : indices) {
+    detail::require(index < n, "ot_1ofn: index out of range");
   }
   std::vector<Bytes> out;
   out.reserve(indices.size());
-  for (std::size_t index : indices) {
-    detail::require(index < n, "ot_1ofn: index out of range");
-    if (n == 1) {
+  if (n == 1) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
       out.push_back(channel.recv());
-      continue;
     }
+    return out;
+  }
+  if (n <= kMaxDirectArity) {
+    if (remaining(n) < indices.size()) {
+      reserve(channel, n, std::max(indices.size(), refill_batch_));
+    }
+    Pool& pool = pool_for(n);
+    for (std::size_t index : indices) {
+      out.push_back(precomputed_receive_1ofn(channel, pool.slots[pool.next++],
+                                             index, message_len));
+    }
+    return out;
+  }
+  const std::size_t needed = indices.size() * index_bits(n);
+  if (remaining(2) < needed) {
+    reserve(channel, 2, std::max(needed, refill_batch_));
+  }
+  Pool& pool = pool_for(2);
+  for (std::size_t index : indices) {
     out.push_back(
         receive_1ofn_impl(channel, index, n, message_len, [&](bool choice) {
-          return precomputed_receive_1of2(channel, pool_[next_++], choice);
+          return precomputed_receive_1of2(channel, pool.slots[pool.next++],
+                                          choice);
         }));
   }
   return out;

@@ -12,6 +12,7 @@
 #include "ppds/common/error.hpp"
 #include "ppds/common/thread_pool.hpp"
 #include "ppds/field/encoding.hpp"
+#include "ppds/field/m61xn.hpp"
 #include "ppds/math/interpolate.hpp"
 #include "ppds/math/poly.hpp"
 #include "ppds/net/framing.hpp"
@@ -20,7 +21,9 @@ namespace ppds::ompe {
 
 namespace {
 
+using field::kM61Lanes;
 using field::M61;
+using field::M61x8;
 
 constexpr std::uint8_t kMsgVersion = 1;
 constexpr std::size_t kHeaderBytes = 1 + 1 + 4 + 8 + 8 + 8;
@@ -165,6 +168,175 @@ M61 random_nonzero_field_element(Rng& rng) {
     const M61 v = random_field_element(rng);
     if (!v.is_zero()) return v;
   }
+}
+
+/// Fills eight disguise records with their per-point Rng streams: lane l
+/// writes nwords field elements from Rng(seeds[l]) little-endian at
+/// ptrs[l] + 8*j — exactly the bytes random_field_element produces in the
+/// scalar disguise loop.
+void disguise_block_scalar(const std::uint64_t* seeds, std::size_t nwords,
+                           std::uint8_t* const* ptrs) {
+  for (std::size_t lane = 0; lane < kM61Lanes; ++lane) {
+    Rng point_rng(seeds[lane]);
+    for (std::size_t j = 0; j < nwords; ++j) {
+      store_le64(ptrs[lane] + 8 * j, random_field_element(point_rng).value());
+    }
+  }
+}
+
+#if PPDS_M61XN_HAVE_AVX2_TARGET
+
+__attribute__((target("avx2"))) inline __m256i rotl64x4(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k), _mm256_srli_epi64(x, 64 - k));
+}
+
+/// Lane-parallel disguise fill: the eight xoshiro256** streams advance in
+/// two 4-wide state vectors (the scrambler s1*5, rotl 7, *9 is shifts and
+/// adds throughout, so the whole draw vectorizes). random_field_element's
+/// rejection (draw >> 3 == kP, probability 2^-61 per draw) cannot proceed
+/// lane-parallel — one lane re-draws, the others must not — so on any hit
+/// the kernel bails and the caller replays the whole block scalar; stores
+/// up to that point are simply overwritten (the streams are replayed from
+/// the seeds, so the result is bit-identical either way).
+__attribute__((target("avx2"))) bool disguise_block_avx2(
+    const std::uint64_t* seeds, std::size_t nwords,
+    std::uint8_t* const* ptrs) {
+  // SplitMix64 seed expansion (Rng::reseed), scalar per lane — amortized
+  // over the nwords vector draws that follow.
+  alignas(32) std::uint64_t st[4][kM61Lanes];
+  for (std::size_t lane = 0; lane < kM61Lanes; ++lane) {
+    std::uint64_t x = seeds[lane];
+    for (std::size_t w = 0; w < 4; ++w) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      st[w][lane] = z ^ (z >> 31);
+    }
+  }
+  const auto* p0 = reinterpret_cast<const __m256i*>(st[0]);
+  const auto* p1 = reinterpret_cast<const __m256i*>(st[1]);
+  const auto* p2 = reinterpret_cast<const __m256i*>(st[2]);
+  const auto* p3 = reinterpret_cast<const __m256i*>(st[3]);
+  __m256i s0a = _mm256_load_si256(p0), s0b = _mm256_load_si256(p0 + 1);
+  __m256i s1a = _mm256_load_si256(p1), s1b = _mm256_load_si256(p1 + 1);
+  __m256i s2a = _mm256_load_si256(p2), s2b = _mm256_load_si256(p2 + 1);
+  __m256i s3a = _mm256_load_si256(p3), s3b = _mm256_load_si256(p3 + 1);
+  const __m256i kp = _mm256_set1_epi64x(static_cast<long long>(M61::kP));
+  alignas(32) std::uint64_t out[kM61Lanes];
+  __m256i da[4], db[4];
+  std::size_t j = 0;
+  // Main loop: four draw steps per iteration, then a 4x4 in-register
+  // transpose so every lane takes one contiguous 32-byte store instead of
+  // four scattered word stores.
+  for (; j + 4 <= nwords; j += 4) {
+    __m256i bad = _mm256_setzero_si256();
+    for (int s = 0; s < 4; ++s) {
+      // result = rotl(s1 * 5, 7) * 9; draw = result >> 3.
+      const __m256i m5a = _mm256_add_epi64(_mm256_slli_epi64(s1a, 2), s1a);
+      const __m256i m5b = _mm256_add_epi64(_mm256_slli_epi64(s1b, 2), s1b);
+      const __m256i ra = rotl64x4(m5a, 7);
+      const __m256i rb = rotl64x4(m5b, 7);
+      const __m256i resa = _mm256_add_epi64(_mm256_slli_epi64(ra, 3), ra);
+      const __m256i resb = _mm256_add_epi64(_mm256_slli_epi64(rb, 3), rb);
+      da[s] = _mm256_srli_epi64(resa, 3);
+      db[s] = _mm256_srli_epi64(resb, 3);
+      bad = _mm256_or_si256(bad, _mm256_cmpeq_epi64(da[s], kp));
+      bad = _mm256_or_si256(bad, _mm256_cmpeq_epi64(db[s], kp));
+      // State transition: t = s1 << 17; s2 ^= s0; s3 ^= s1; s1 ^= s2;
+      // s0 ^= s3; s2 ^= t; s3 = rotl(s3, 45).
+      const __m256i ta = _mm256_slli_epi64(s1a, 17);
+      const __m256i tb = _mm256_slli_epi64(s1b, 17);
+      s2a = _mm256_xor_si256(s2a, s0a);
+      s2b = _mm256_xor_si256(s2b, s0b);
+      s3a = _mm256_xor_si256(s3a, s1a);
+      s3b = _mm256_xor_si256(s3b, s1b);
+      s1a = _mm256_xor_si256(s1a, s2a);
+      s1b = _mm256_xor_si256(s1b, s2b);
+      s0a = _mm256_xor_si256(s0a, s3a);
+      s0b = _mm256_xor_si256(s0b, s3b);
+      s2a = _mm256_xor_si256(s2a, ta);
+      s2b = _mm256_xor_si256(s2b, tb);
+      s3a = rotl64x4(s3a, 45);
+      s3b = rotl64x4(s3b, 45);
+    }
+    if (!_mm256_testz_si256(bad, bad)) return false;
+    // Rows are draw steps, columns are lanes; transpose each 4-lane half so
+    // row r becomes lane r's words j..j+3.
+    const __m256i t0 = _mm256_unpacklo_epi64(da[0], da[1]);
+    const __m256i t1 = _mm256_unpackhi_epi64(da[0], da[1]);
+    const __m256i t2 = _mm256_unpacklo_epi64(da[2], da[3]);
+    const __m256i t3 = _mm256_unpackhi_epi64(da[2], da[3]);
+    const __m256i u0 = _mm256_unpacklo_epi64(db[0], db[1]);
+    const __m256i u1 = _mm256_unpackhi_epi64(db[0], db[1]);
+    const __m256i u2 = _mm256_unpacklo_epi64(db[2], db[3]);
+    const __m256i u3 = _mm256_unpackhi_epi64(db[2], db[3]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs[0] + 8 * j),
+                        _mm256_permute2x128_si256(t0, t2, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs[1] + 8 * j),
+                        _mm256_permute2x128_si256(t1, t3, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs[2] + 8 * j),
+                        _mm256_permute2x128_si256(t0, t2, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs[3] + 8 * j),
+                        _mm256_permute2x128_si256(t1, t3, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs[4] + 8 * j),
+                        _mm256_permute2x128_si256(u0, u2, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs[5] + 8 * j),
+                        _mm256_permute2x128_si256(u1, u3, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs[6] + 8 * j),
+                        _mm256_permute2x128_si256(u0, u2, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs[7] + 8 * j),
+                        _mm256_permute2x128_si256(u1, u3, 0x31));
+  }
+  for (; j < nwords; ++j) {
+    const __m256i m5a = _mm256_add_epi64(_mm256_slli_epi64(s1a, 2), s1a);
+    const __m256i m5b = _mm256_add_epi64(_mm256_slli_epi64(s1b, 2), s1b);
+    const __m256i ra = rotl64x4(m5a, 7);
+    const __m256i rb = rotl64x4(m5b, 7);
+    const __m256i resa = _mm256_add_epi64(_mm256_slli_epi64(ra, 3), ra);
+    const __m256i resb = _mm256_add_epi64(_mm256_slli_epi64(rb, 3), rb);
+    const __m256i va = _mm256_srli_epi64(resa, 3);
+    const __m256i vb = _mm256_srli_epi64(resb, 3);
+    const __m256i bad = _mm256_or_si256(_mm256_cmpeq_epi64(va, kp),
+                                        _mm256_cmpeq_epi64(vb, kp));
+    if (!_mm256_testz_si256(bad, bad)) return false;
+    const __m256i ta = _mm256_slli_epi64(s1a, 17);
+    const __m256i tb = _mm256_slli_epi64(s1b, 17);
+    s2a = _mm256_xor_si256(s2a, s0a);
+    s2b = _mm256_xor_si256(s2b, s0b);
+    s3a = _mm256_xor_si256(s3a, s1a);
+    s3b = _mm256_xor_si256(s3b, s1b);
+    s1a = _mm256_xor_si256(s1a, s2a);
+    s1b = _mm256_xor_si256(s1b, s2b);
+    s0a = _mm256_xor_si256(s0a, s3a);
+    s0b = _mm256_xor_si256(s0b, s3b);
+    s2a = _mm256_xor_si256(s2a, ta);
+    s2b = _mm256_xor_si256(s2b, tb);
+    s3a = rotl64x4(s3a, 45);
+    s3b = rotl64x4(s3b, 45);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out), va);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out + 4), vb);
+    for (std::size_t lane = 0; lane < kM61Lanes; ++lane) {
+      store_le64(ptrs[lane] + 8 * j, out[lane]);
+    }
+  }
+  return true;
+}
+
+#endif  // PPDS_M61XN_HAVE_AVX2_TARGET
+
+/// Dispatching front for the disguise fill; the rare AVX2 rejection bail
+/// (see above) falls through to the scalar replay, so the written bytes are
+/// identical across paths.
+void disguise_block(const std::uint64_t* seeds, std::size_t nwords,
+                    std::uint8_t* const* ptrs) {
+#if PPDS_M61XN_HAVE_AVX2_TARGET
+  if (field::detail::use_avx2() &&
+      disguise_block_avx2(seeds, nwords, ptrs)) {
+    return;
+  }
+#endif
+  disguise_block_scalar(seeds, nwords, ptrs);
 }
 
 /// Encodes the sender's real polynomial into the field with scale
@@ -329,6 +501,15 @@ RequestHeader read_header(ByteReader& r) {
   return h;
 }
 
+/// Per-task workspace for the lane-parallel field evaluators: reduced lane
+/// inputs plus DAG node storage. One instance per sweep task, so lane
+/// evaluators can be stateless const callables and still avoid per-block
+/// allocation.
+struct LaneScratch {
+  std::vector<M61x8> z8;
+  std::vector<M61x8> nodes;
+};
+
 /// Shared sender body: parses and validates the receiver's request, then
 /// evaluates A(v, z) = h(v) + P(z) on every disguised pair with the
 /// supplied evaluators and hands the values to the k-out-of-n OT.
@@ -340,11 +521,22 @@ RequestHeader read_header(ByteReader& r) {
 /// with distinct scratch objects; the M disguised points are swept in
 /// parallel across the process-wide pool (bit-identical results for every
 /// eval_threads setting — per-point work depends only on the point index).
-template <typename EvalReal, typename EvalField>
+/// \p eval_field8 is the lane-parallel counterpart of eval_field:
+/// eval_field8(z0, zstride, ws) -> M61x8, where z0 points at the first
+/// variate word of lane 0 and lane l's variate j is the little-endian word
+/// at z0 + l * zstride + 8 * j, not yet reduced (the evaluator folds the
+/// raw words exactly like the reducing M61 constructor; fused kernels such
+/// as field::dot8_reduce_strided walk the records in place inside one
+/// dispatched call) — and ws is a per-task LaneScratch workspace. Lane l of
+/// its result must equal eval_field at point l bit for bit; it is only
+/// invoked when \p has_lane_eval and params.use_simd_field are both set,
+/// and the block tail always falls back to the scalar evaluator.
+template <typename EvalReal, typename EvalField, typename EvalField8>
 void run_sender_impl(net::Endpoint& channel, std::size_t arity,
                      unsigned actual_degree, unsigned declared_degree,
                      const OmpeParams& params, crypto::OtSender& ot, Rng& rng,
-                     const EvalReal& eval_real, const EvalField& eval_field) {
+                     const EvalReal& eval_real, const EvalField& eval_field,
+                     const EvalField8& eval_field8, bool has_lane_eval) {
   detail::require(actual_degree >= 1, "ompe: secret must have degree >= 1");
   detail::require(declared_degree == 0 || declared_degree >= actual_degree,
                   "ompe: declared degree below actual degree");
@@ -421,17 +613,47 @@ void run_sender_impl(net::Endpoint& channel, std::size_t arity,
         h_coeffs[i] = random_field_element(rng);
       }
       const math::Poly<M61> h(std::move(h_coeffs));
+      const bool lanes = has_lane_eval && params.use_simd_field;
       for_each_chunk(big_m, tasks, [&](std::size_t begin, std::size_t end) {
-        std::vector<M61> z(arity);
-        std::vector<M61> scratch;
-        for (std::size_t i = begin; i < end; ++i) {
-          const std::span<const std::uint8_t> pair = body.subspan(i * stride, stride);
-          const M61 v(load_le64(pair.data()));
-          for (std::size_t j = 0; j < arity; ++j) {
-            z[j] = M61(load_le64(pair.subspan(8 + 8 * j, 8).data()));
+        const auto scalar_run = [&](std::size_t from, std::size_t to) {
+          std::vector<M61> z(arity);
+          std::vector<M61> scratch;
+          for (std::size_t i = from; i < to; ++i) {
+            const std::span<const std::uint8_t> pair = body.subspan(i * stride, stride);
+            const M61 v(load_le64(pair.data()));
+            for (std::size_t j = 0; j < arity; ++j) {
+              z[j] = M61(load_le64(pair.subspan(8 + 8 * j, 8).data()));
+            }
+            values[i] = encode_value_field(h(v) + eval_field(std::span<const M61>(z), scratch));
           }
-          values[i] = encode_value_field(h(v) + eval_field(std::span<const M61>(z), scratch));
+        };
+        if (!lanes) {
+          scalar_run(begin, end);
+          return;
         }
+        // Lane path: eight disguised points per step. The raw node/z words
+        // are folded exactly like the reducing M61 constructor — inside the
+        // fused strided kernels, so the chains stay in vector registers and
+        // the wire records are walked in place — and h is the same Horner
+        // chain on lanes, so every lane reproduces the scalar bytes exactly.
+        const std::vector<M61>& hc = h.coeffs();
+        LaneScratch scratch8;
+        std::uint64_t raw[kM61Lanes];
+        std::size_t i0 = begin;
+        for (; i0 + kM61Lanes <= end; i0 += kM61Lanes) {
+          const std::uint8_t* block = body.subspan(i0 * stride).data();
+          for (std::size_t lane = 0; lane < kM61Lanes; ++lane) {
+            raw[lane] = load_le64(block + lane * stride);
+          }
+          const M61x8 v8 = M61x8::reduce(raw);
+          const M61x8 h8 = field::horner8(hc.data(), hc.size(), v8);
+          const M61x8 w8 =
+              field::add(h8, eval_field8(block + 8, stride, scratch8));
+          for (std::size_t lane = 0; lane < kM61Lanes; ++lane) {
+            values[i0 + lane] = encode_value_field(M61(w8.v[lane]));
+          }
+        }
+        scalar_run(i0, end);
       });
     }
   }
@@ -503,7 +725,27 @@ void run_sender(net::Endpoint& channel,
         },
         [&compiled, &coeffs](std::span<const M61> z, std::vector<M61>& scratch) {
           return compiled.evaluate_with(std::span<const M61>(coeffs), z, scratch);
-        });
+        },
+        [&compiled, &coeffs](const std::uint8_t* z0, std::size_t zstride,
+                             LaneScratch& ws) {
+          // The compiled program runs as three fused lane kernels — strided
+          // raw-word reduction, monomial-DAG sweep, term combine — each one
+          // dispatched call, so the whole evaluation stays in vector
+          // registers. Node and term order match evaluate_with exactly, so
+          // every lane reproduces the scalar bytes bit for bit.
+          const math::MonomialDag& dag = compiled.dag();
+          ws.z8.resize(compiled.arity());
+          ws.nodes.resize(dag.size());
+          field::reduce8_strided(z0, zstride, ws.z8.size(), ws.z8.data());
+          field::dag_eval8(dag.parent.data(), dag.var.data(), dag.size(),
+                           math::MonomialDag::kOne, ws.z8.data(),
+                           ws.nodes.data());
+          return field::dot8_nodes(coeffs.data(),
+                                   compiled.term_nodes().data(),
+                                   coeffs.size(), math::MonomialDag::kOne,
+                                   ws.nodes.data());
+        },
+        /*has_lane_eval=*/true);
   } else {
     run_sender_impl(
         channel, secret.arity(), actual, declared_degree, params, ot, rng,
@@ -513,7 +755,11 @@ void run_sender(net::Endpoint& channel,
         },
         [&secret, &coeffs](std::span<const M61> z, std::vector<M61>&) {
           return evaluate_field(secret, coeffs, z);
-        });
+        },
+        // The naive power-ladder evaluator has no lane form; the baseline
+        // path stays scalar by construction.
+        [](const std::uint8_t*, std::size_t, LaneScratch&) { return M61x8{}; },
+        /*has_lane_eval=*/false);
   }
 }
 
@@ -560,7 +806,18 @@ void run_sender_linear(net::Endpoint& channel,
         M61 acc = b_enc;
         for (std::size_t i = 0; i < z.size(); ++i) acc = acc + w_enc[i] * z[i];
         return acc;
-      });
+      },
+      [&w_enc, b_enc](const std::uint8_t* z0, std::size_t zstride,
+                      LaneScratch&) {
+        // Same multiply-add chain as the scalar evaluator, eight points per
+        // step: lane l accumulates b + sum_j w_j * z_j at point l exactly,
+        // with the raw-word fold and the whole dot chain fused into one
+        // dispatched kernel call that walks the wire records in place.
+        return field::dot8_reduce_strided(M61x8::broadcast(b_enc),
+                                          w_enc.data(), z0, zstride,
+                                          w_enc.size());
+      },
+      /*has_lane_eval=*/true);
   secure_wipe_object(b_enc);
 }
 
@@ -706,28 +963,98 @@ double run_receiver(net::Endpoint& channel,
 
     const std::size_t tasks = plan_tasks(params.eval_threads, big_m, arity + 1);
     for_each_chunk(big_m, tasks, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        const std::span<std::uint8_t> slot = body.subspan(i * stride, stride);
-        const M61 v = nodes[i];
-        store_le64(slot.data(), v.value());
-        if (is_kept[i]) {
-          for (std::size_t j = 0; j < arity; ++j) {
-            const std::size_t base = j * (cq + 1);
-            M61 acc = covers[base + cq];
-            for (std::size_t l = cq; l-- > 0;) acc = acc * v + covers[base + l];
-            store_le64(slot.subspan(8 + 8 * j, 8).data(), acc.value());
+      const auto scalar_run = [&](std::size_t from, std::size_t to) {
+        for (std::size_t i = from; i < to; ++i) {
+          const std::span<std::uint8_t> slot = body.subspan(i * stride, stride);
+          const M61 v = nodes[i];
+          store_le64(slot.data(), v.value());
+          if (is_kept[i]) {
+            for (std::size_t j = 0; j < arity; ++j) {
+              const std::size_t base = j * (cq + 1);
+              M61 acc = covers[base + cq];
+              for (std::size_t l = cq; l-- > 0;) acc = acc * v + covers[base + l];
+              store_le64(slot.subspan(8 + 8 * j, 8).data(), acc.value());
+            }
+          } else {
+            Rng point_rng(splitmix64(disguise_seed.value(), i));
+            for (std::size_t j = 0; j < arity; ++j) {
+              store_le64(slot.subspan(8 + 8 * j, 8).data(),
+                         random_field_element(point_rng).value());
+            }
           }
-        } else {
-          Rng point_rng(splitmix64(disguise_seed.value(), i));
-          for (std::size_t j = 0; j < arity; ++j) {
-            store_le64(slot.subspan(8 + 8 * j, 8).data(),
-                       random_field_element(point_rng).value());
-          }
+        }
+      };
+      if (!params.use_simd_field) {
+        scalar_run(begin, end);
+        return;
+      }
+      // Lane path, first pass: every point gets its node and a full
+      // disguise tuple with no branch on the kept set (the per-point
+      // SplitMix64 streams are independent, so drawing disguises for kept
+      // points too leaves all non-kept bytes unchanged; kept slots are
+      // overwritten by the packed cover sweep below). The extra draws cost
+      // only the kept fraction of the rng work, unlike evaluating the
+      // cover Horner on all M points would — and the eight per-point
+      // streams of a block advance lane-parallel inside disguise_block.
+      std::uint64_t seeds[kM61Lanes];
+      std::uint8_t* dptrs[kM61Lanes];
+      std::size_t i0 = begin;
+      for (; i0 + kM61Lanes <= end; i0 += kM61Lanes) {
+        for (std::size_t lane = 0; lane < kM61Lanes; ++lane) {
+          const std::size_t i = i0 + lane;
+          const std::span<std::uint8_t> slot = body.subspan(i * stride, stride);
+          store_le64(slot.data(), nodes[i].value());
+          seeds[lane] = splitmix64(disguise_seed.value(), i);
+          dptrs[lane] = slot.subspan(8).data();
+        }
+        disguise_block(seeds, arity, dptrs);
+      }
+      for (; i0 < end; ++i0) {
+        const std::span<std::uint8_t> slot = body.subspan(i0 * stride, stride);
+        store_le64(slot.data(), nodes[i0].value());
+        Rng point_rng(splitmix64(disguise_seed.value(), i0));
+        for (std::size_t j = 0; j < arity; ++j) {
+          store_le64(slot.subspan(8 + 8 * j, 8).data(),
+                     random_field_element(point_rng).value());
         }
       }
     });
+    std::vector<std::size_t> kept_idx;
+    kept_idx.reserve(m);
     for (std::size_t i = 0; i < big_m; ++i) {
-      if (is_kept[i]) kept_nodes.push_back(nodes[i]);
+      if (is_kept[i]) {
+        kept_nodes.push_back(nodes[i]);
+        kept_idx.push_back(i);
+      }
+    }
+    if (params.use_simd_field) {
+      // Lane path, second pass: the m kept points packed eight per block.
+      // The fused scatter kernel runs the cover Horner on lanes and stores
+      // lane l's evaluations straight into record kept_idx[b + l], exactly
+      // the bytes the scalar path writes in its kept branch. Points left
+      // over from a partial block lane over the arity cover groups instead
+      // (horner_groups), so no point ever pays a scalar sweep.
+      const std::size_t ktasks =
+          plan_tasks(params.eval_threads, kept_idx.size(), arity + 1);
+      for_each_chunk(
+          kept_idx.size(), ktasks, [&](std::size_t begin, std::size_t end) {
+            std::uint8_t* ptrs[kM61Lanes];
+            std::size_t b = begin;
+            for (; b + kM61Lanes <= end; b += kM61Lanes) {
+              M61x8 v8;
+              for (std::size_t lane = 0; lane < kM61Lanes; ++lane) {
+                const std::size_t i = kept_idx[b + lane];
+                v8.v[lane] = nodes[i].value();
+                ptrs[lane] = body.subspan(i * stride + 8).data();
+              }
+              field::horner8_scatter(covers.data(), cq + 1, arity, v8, ptrs);
+            }
+            for (; b < end; ++b) {
+              const std::size_t i = kept_idx[b];
+              field::horner_groups(covers.data(), cq + 1, arity, nodes[i],
+                                   body.subspan(i * stride + 8).data());
+            }
+          });
     }
   }
   channel.set_stage(net::Stage::kOmpeRequest);

@@ -60,6 +60,31 @@ TEST(ClassificationProfile, PolynomialProfileBuildsMonomialBasis) {
   EXPECT_EQ(tau.size(), 19u);
 }
 
+TEST(ClassificationProfile, BatchTransformMatchesSingleBitwise) {
+  // transform_batch sweeps the DAG eight samples at a time (SoA lanes);
+  // every sample must still come out bit-identical to transform(), lane
+  // blocks and the scalar tail alike (11 samples = one block + tail of 3).
+  Rng rng(29);
+  const auto profile =
+      ClassificationProfile::make(4, svm::Kernel::paper_polynomial(3));
+  std::vector<std::vector<double>> samples(11, std::vector<double>(4));
+  for (auto& sample : samples) {
+    for (auto& v : sample) v = rng.uniform(-2.0, 2.0);
+  }
+  const auto batch = profile.transform_batch(samples);
+  ASSERT_EQ(batch.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(batch[i], profile.transform(samples[i])) << "sample " << i;
+  }
+}
+
+TEST(ClassificationProfile, BatchTransformIdentityForLinearKernel) {
+  const auto profile = ClassificationProfile::make(3, svm::Kernel::linear());
+  const std::vector<std::vector<double>> samples{{1.0, 2.0, 3.0},
+                                                 {-0.5, 0.25, 0.0}};
+  EXPECT_EQ(profile.transform_batch(samples), samples);
+}
+
 TEST(ClassificationProfile, DagTransformMatchesNaiveBitwise) {
   // The profile's DAG transform replaced math::monomial_transform on the
   // client hot path; the two must agree BIT FOR BIT, or the protocol values

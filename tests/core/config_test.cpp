@@ -42,6 +42,29 @@ TEST(OtSlots, FormulaMatchesOtConstruction) {
   EXPECT_EQ(ot_slots_per_query(params, 4), 17u * 6u);
 }
 
+TEST(OtDemand, DirectSlotsWhenArityFits) {
+  ompe::OmpeParams params;
+  params.q = 4;
+  params.k = 2;
+  // degree 1: m = 5, M = 10 <= 256 -> 5 direct 1-of-10 slots, i.e. 5
+  // offline exponentiations per query instead of 20.
+  const auto d = ot_demand_per_query(params, 1);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].arity, 10u);
+  EXPECT_EQ(d[0].count, 5u);
+}
+
+TEST(OtDemand, FallsBackToBitDecompositionWhenArityTooLarge) {
+  ompe::OmpeParams params;
+  params.q = 32;
+  params.k = 8;
+  // degree 1: m = 33, M = 264 > 256 -> arity-2 bit-decomposition demand.
+  const auto d = ot_demand_per_query(params, 1);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].arity, 2u);
+  EXPECT_EQ(d[0].count, ot_slots_per_query(params, 1));
+}
+
 TEST(OtBundle, LoopbackReadyImmediately) {
   Rng rng(1);
   OtBundle bundle(SchemeConfig::fast_simulation(), rng);
@@ -96,19 +119,19 @@ TEST(OtBundle, PreparedPairTransfers) {
   cfg.ot_engine = OtEngine::kPrecomputed;
   cfg.group = crypto::GroupId::kModp1024;
   std::vector<Bytes> msgs{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  const std::vector<OtDemand> demand{{/*arity=*/4, /*count=*/1}};
   auto outcome = net::run_two_party(
       [&](net::Endpoint& ch) {
         Rng rng(4);
         OtBundle bundle(cfg, rng);
-        bundle.prepare_sender(ch, crypto::PrecomputedOtSender::slots_for(4, 1));
+        bundle.prepare_sender(ch, demand);
         bundle.sender().send(ch, msgs, 1);
         return 0;
       },
       [&](net::Endpoint& ch) {
         Rng rng(5);
         OtBundle bundle(cfg, rng);
-        bundle.prepare_receiver(ch,
-                                crypto::PrecomputedOtSender::slots_for(4, 1));
+        bundle.prepare_receiver(ch, demand);
         const std::vector<std::size_t> want{2};
         return bundle.receiver().receive(ch, want, 4, 2);
       });

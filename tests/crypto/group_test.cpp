@@ -177,6 +177,100 @@ TEST(FixedBaseTable, ConcurrentFirstUseIsSafe) {
   }
 }
 
+TEST(DhGroup, MultiExpMatchesProductOfPows) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(11);
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{8}}) {
+    std::vector<mpz_class> bases;
+    std::vector<mpz_class> exps;
+    mpz_class expected = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      bases.push_back(g.random_element(rng));
+      exps.push_back(g.random_exponent(rng));
+      expected = g.mul(expected, g.pow(bases.back(), exps.back()));
+    }
+    EXPECT_EQ(g.multi_exp(bases, exps), expected) << "n=" << n;
+  }
+}
+
+TEST(DhGroup, MultiExpPippengerPathMatches) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(12);
+  const std::size_t n = DhGroup::kPippengerThreshold + 9;
+  std::vector<mpz_class> bases;
+  std::vector<mpz_class> exps;
+  mpz_class expected = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    bases.push_back(g.random_element(rng));
+    exps.push_back(g.random_exponent(rng));
+    expected = g.mul(expected, g.pow(bases.back(), exps.back()));
+  }
+  EXPECT_EQ(g.multi_exp(bases, exps), expected);
+}
+
+TEST(DhGroup, MultiExpServesGeneratorBasesFromTable) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(13);
+  const mpz_class b = g.random_element(rng);
+  const mpz_class e1 = g.random_exponent(rng);
+  const mpz_class e2 = g.random_exponent(rng);
+  const std::vector<mpz_class> bases = {g.g(), b, g.g()};
+  const std::vector<mpz_class> exps = {e1, e2, e1};
+  const mpz_class expected = g.mul(
+      g.mul(g.pow_g(e1), g.pow(b, e2)), g.pow_g(e1));
+
+  reset_exp_counters();
+  const mpz_class got = g.multi_exp(bases, exps);
+  const ExpCounters after = exp_counters();
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(after.multi_exp_batches, 1u);
+  EXPECT_EQ(after.multi_exp_bases, 3u);
+  // The generator bases ride the window table, not full exponentiations.
+  EXPECT_EQ(after.full, 0u);
+  EXPECT_EQ(after.fixed_base, 2u);
+}
+
+TEST(DhGroup, MultiExpEdgeCases) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(14);
+  const mpz_class b = g.random_element(rng);
+  // Empty batch is the empty product.
+  EXPECT_EQ(g.multi_exp({}, {}), mpz_class(1));
+  // Zero exponents contribute 1.
+  const std::vector<mpz_class> bases = {b, b};
+  const std::vector<mpz_class> exps = {mpz_class(0), mpz_class(5)};
+  EXPECT_EQ(g.multi_exp(bases, exps), g.pow(b, mpz_class(5)));
+  // Size mismatch throws.
+  const std::vector<mpz_class> one = {b};
+  EXPECT_THROW((void)g.multi_exp(one, exps), InvalidArgument);
+}
+
+TEST(DhGroup, BatchInvertMatchesInvert) {
+  const DhGroup g(GroupId::kModp1024);
+  Rng rng(15);
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                        std::size_t{33}}) {
+    std::vector<mpz_class> xs;
+    std::vector<mpz_class> expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      xs.push_back(g.random_element(rng));
+      expected.push_back(g.invert(xs.back()));
+    }
+    reset_exp_counters();
+    g.batch_invert(xs);
+    EXPECT_EQ(xs, expected) << "n=" << n;
+    // The whole batch costs no exponentiations at all.
+    EXPECT_EQ(exp_counters().full, 0u);
+  }
+}
+
+TEST(DhGroup, BatchInvertRejectsZero) {
+  const DhGroup g(GroupId::kModp1024);
+  std::vector<mpz_class> xs = {mpz_class(3), mpz_class(0), mpz_class(5)};
+  EXPECT_THROW(g.batch_invert(xs), CryptoError);
+}
+
 TEST(SharedGroup, ReturnsOneInstancePerGroupId) {
   EXPECT_EQ(&shared_group(GroupId::kModp1024),
             &shared_group(GroupId::kModp1024));

@@ -233,6 +233,74 @@ TEST(PrecomputedOt, OnlineWireCostIsTiny) {
   EXPECT_EQ(outcome.a, 16u);
 }
 
+TEST(PrecomputedOt, DirectOneOfNEveryIndexRetrievable) {
+  // Direct 1-of-5 slots: whatever random choice the offline phase drew,
+  // the shift correction must align every requested index.
+  const std::size_t arity = 5, count = 10;
+  const auto msgs = make_messages(arity, 12);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(51);
+        NaorPinkasSender np(test_group(), rng);
+        auto slots = precompute_ot_sender(ch, np, count, 16, rng, arity);
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(slots[i].pads.size(), arity);
+          precomputed_send_1ofn(ch, slots[i], msgs);
+        }
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(52);
+        NaorPinkasReceiver np(test_group(), rng);
+        auto slots = precompute_ot_receiver(ch, np, count, 16, rng, arity);
+        std::vector<Bytes> got;
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(slots[i].arity, arity);
+          EXPECT_LT(slots[i].choice, arity);
+          got.push_back(precomputed_receive_1ofn(ch, slots[i], i % arity, 12));
+        }
+        return got;
+      });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(outcome.b[i], msgs[i % arity]) << i;
+  }
+}
+
+TEST(PrecomputedOt, DirectOneOfNOnlineWireCost) {
+  // Online direct 1-of-n: 1 shift byte up, n * len bytes down, no group
+  // elements.
+  const std::size_t arity = 7;
+  const auto msgs = make_messages(arity, 8);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(53);
+        NaorPinkasSender np(test_group(), rng);
+        auto slots = precompute_ot_sender(ch, np, 1, 8, rng, arity);
+        ch.reset_stats();
+        precomputed_send_1ofn(ch, slots[0], msgs);
+        return ch.stats().bytes;
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(54);
+        NaorPinkasReceiver np(test_group(), rng);
+        auto slots = precompute_ot_receiver(ch, np, 1, 8, rng, arity);
+        ch.reset_stats();
+        precomputed_receive_1ofn(ch, slots[0], 4, 8);
+        return ch.stats().bytes;
+      });
+  EXPECT_EQ(outcome.a, arity * 8u);
+  EXPECT_EQ(outcome.b, 1u);
+}
+
+TEST(PrecomputedOt, ArityOutOfRangeRejected) {
+  auto [a, b] = net::make_channel();
+  Rng rng(55);
+  NaorPinkasSender np(test_group(), rng);
+  EXPECT_THROW(precompute_ot_sender(a, np, 1, 16, rng, 1), InvalidArgument);
+  EXPECT_THROW(precompute_ot_sender(a, np, 1, 16, rng, kMaxDirectArity + 1),
+               InvalidArgument);
+}
+
 TEST(PrecomputedEngine, KOutOfNMatchesMessages) {
   const std::size_t n = 12, k = 4;
   const auto msgs = make_messages(n, 8);
@@ -368,27 +436,54 @@ TEST(BatchedPrecompute, PadLenOutOfRangeRejected) {
 }
 
 TEST(BatchedEngine, ReserveThenTransfer) {
+  // An 8-message transfer is served from DIRECT arity-8 slots: reserving
+  // exactly k of them covers a 2-out-of-8 transfer with no auto-refill.
   const auto msgs = make_messages(8, 16);
-  const std::size_t per = PrecomputedOtSender::slots_for(8, 2);
   auto outcome = net::run_two_party(
       [&](net::Endpoint& ch) {
         Rng rng(75);
         BatchedOtSender s(test_group(), rng);
-        s.reserve(ch, per);
-        EXPECT_GE(s.remaining(), per);
+        s.reserve(ch, /*arity=*/8, /*count=*/2);
+        EXPECT_EQ(s.remaining(8), 2u);
+        EXPECT_GE(s.remaining(), 2u);
         s.send(ch, msgs, 2);
+        EXPECT_EQ(s.remaining(8), 0u);  // no hidden refill happened
         return 0;
       },
       [&](net::Endpoint& ch) {
         Rng rng(76);
         BatchedOtReceiver r(test_group(), rng);
-        r.reserve(ch, per);
+        r.reserve(ch, /*arity=*/8, /*count=*/2);
         const std::vector<std::size_t> want{1, 6};
-        return r.receive(ch, want, 8, 16);
+        auto got = r.receive(ch, want, 8, 16);
+        EXPECT_EQ(r.remaining(8), 0u);
+        return got;
       });
   ASSERT_EQ(outcome.b.size(), 2u);
   EXPECT_EQ(outcome.b[0], msgs[1]);
   EXPECT_EQ(outcome.b[1], msgs[6]);
+}
+
+TEST(BatchedEngine, FallsBackToBitDecompositionBeyondDirectArity) {
+  // 300 > kMaxDirectArity: the transfer must consume ceil(log2 300) = 9
+  // arity-2 slots instead of a direct slot.
+  const auto msgs = make_messages(300, 4);
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(85);
+        BatchedOtSender s(test_group(), rng, /*refill_batch=*/4);
+        s.send(ch, msgs, 1);
+        return s.remaining(300);
+      },
+      [&](net::Endpoint& ch) {
+        Rng rng(86);
+        BatchedOtReceiver r(test_group(), rng, /*refill_batch=*/4);
+        const std::vector<std::size_t> want{271};
+        return r.receive(ch, want, 300, 4);
+      });
+  EXPECT_EQ(outcome.a, 0u);  // no direct arity-300 pool was created
+  ASSERT_EQ(outcome.b.size(), 1u);
+  EXPECT_EQ(outcome.b[0], msgs[271]);
 }
 
 TEST(BatchedEngine, AutoRefillsWithoutReserve) {

@@ -7,10 +7,10 @@
 #include "ppds/ompe/ompe.hpp"
 
 /// \file ompe_parallel_test.cpp
-/// The performance knobs in OmpeParams (eval_threads, use_eval_dag) are
-/// LOCAL: they must never change a single wire byte. These tests pin that
-/// contract down bit for bit — run them under tsan to also race the worker
-/// pool against itself.
+/// The performance knobs in OmpeParams (eval_threads, use_eval_dag,
+/// use_simd_field) are LOCAL: they must never change a single wire byte.
+/// These tests pin that contract down bit for bit — run them under tsan to
+/// also race the worker pool against itself.
 
 namespace ppds::ompe {
 namespace {
@@ -30,10 +30,11 @@ std::vector<double> wide_alpha() {
 /// Captures the receiver's request bytes (the only message it sends before
 /// the OT) for a given thread setting.
 Bytes capture_request(Backend backend, unsigned eval_threads,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, bool use_simd_field = true) {
   OmpeParams params;
   params.backend = backend;
   params.eval_threads = eval_threads;
+  params.use_simd_field = use_simd_field;
   const std::vector<double> alpha = wide_alpha();
   auto outcome = net::run_two_party(
       [&](net::Endpoint& ch) {
@@ -95,10 +96,11 @@ Bytes canned_request(const OmpeParams& params, Backend backend) {
 }
 
 Bytes capture_sender_reply(Backend backend, unsigned eval_threads,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, bool use_simd_field = true) {
   OmpeParams params;
   params.backend = backend;
   params.eval_threads = eval_threads;
+  params.use_simd_field = use_simd_field;
   std::vector<double> weights(kWideArity);
   for (std::size_t i = 0; i < weights.size(); ++i) {
     weights[i] = 0.01 * static_cast<double>(i % 31) - 0.15;
@@ -128,6 +130,88 @@ TEST(OmpeParallel, SenderTranscriptBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(sequential, parallel)
         << "backend " << static_cast<int>(backend);
   }
+}
+
+// ---------------------------------------------------------------------------
+// use_simd_field: the packed M61 lane path (field/m61xn.hpp) must reproduce
+// the scalar sweeps bit for bit — on this host's best engine AND under every
+// eval_threads setting (lane blocks and scalar tails land differently per
+// chunking). Combined with the forced-scalar CI leg (PPDS_FORCE_SCALAR=1
+// reruns this whole binary on the portable kernels), this pins transcripts
+// across scalar, portable-lane, and vector-lane execution.
+
+TEST(OmpeParallel, ReceiverTranscriptBitIdenticalScalarVsSimd) {
+  for (unsigned threads : {1u, 8u}) {
+    const Bytes scalar =
+        capture_request(Backend::kField, threads, 31337, /*use_simd_field=*/false);
+    const Bytes simd =
+        capture_request(Backend::kField, threads, 31337, /*use_simd_field=*/true);
+    ASSERT_FALSE(scalar.empty());
+    EXPECT_EQ(scalar, simd) << "eval_threads " << threads;
+  }
+}
+
+TEST(OmpeParallel, SenderTranscriptBitIdenticalScalarVsSimd) {
+  for (unsigned threads : {1u, 8u}) {
+    const Bytes scalar = capture_sender_reply(Backend::kField, threads, 424242,
+                                              /*use_simd_field=*/false);
+    const Bytes simd = capture_sender_reply(Backend::kField, threads, 424242,
+                                            /*use_simd_field=*/true);
+    ASSERT_FALSE(scalar.empty());
+    EXPECT_EQ(scalar, simd) << "eval_threads " << threads;
+  }
+}
+
+/// The generic (run_sender) path evaluates P(z) through
+/// CompiledMultiPoly::evaluate_lanes when lanes are on; its reply must match
+/// the scalar evaluate_with sweep byte for byte too.
+Bytes capture_generic_sender_reply(bool use_simd_field, std::uint64_t seed) {
+  OmpeParams params;
+  params.backend = Backend::kField;
+  params.frac_bits = 12;
+  params.use_simd_field = use_simd_field;
+  math::MultiPoly secret(3);
+  secret.add_term(0.5, {2, 1, 0});
+  secret.add_term(-1.25, {0, 0, 3});
+  secret.add_term(0.75, {1, 1, 1});
+  secret.add_constant(0.375);
+
+  const std::size_t m = params.m(3);
+  const std::size_t big_m = params.big_m(3);
+  ByteWriter w;
+  w.u8(1);  // version
+  w.u8(static_cast<std::uint8_t>(Backend::kField));
+  w.u32(3);  // degree
+  w.u64(3);  // arity
+  w.u64(big_m);
+  w.u64(m);
+  for (std::size_t i = 0; i < big_m; ++i) {
+    w.u64(i + 1);  // distinct nonzero nodes
+    for (std::size_t j = 0; j < 3; ++j) w.u64(1 + ((i * 131 + j) % 1000));
+  }
+  const Bytes request = w.take();
+
+  auto outcome = net::run_two_party(
+      [&](net::Endpoint& ch) {
+        Rng rng(seed);
+        crypto::LoopbackSender ot;
+        run_sender(ch, secret, params, ot, rng);
+        return 0;
+      },
+      [&](net::Endpoint& ch) {
+        ch.set_stage(net::Stage::kOmpeRequest);
+        ch.send(Bytes(request));
+        ch.set_stage(net::Stage::kOtTransfer);
+        return ch.recv();
+      });
+  return outcome.b;
+}
+
+TEST(OmpeParallel, GenericSenderTranscriptBitIdenticalScalarVsSimd) {
+  const Bytes scalar = capture_generic_sender_reply(false, 5150);
+  const Bytes simd = capture_generic_sender_reply(true, 5150);
+  ASSERT_FALSE(scalar.empty());
+  EXPECT_EQ(scalar, simd);
 }
 
 double run_full(const math::MultiPoly& secret, const std::vector<double>& alpha,
