@@ -11,9 +11,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ppds/crypto/reservoir.hpp"
 #include "ppds/net/socket.hpp"
 #include "ppds/server/client.hpp"
 
@@ -24,10 +26,14 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --connect tcp:<host>:<port>|unix:<path>\n"
       "          [--scenario <spec>] [--seed N] [--rng N]\n"
-      "          [--recv-timeout-ms N] <command>...\n"
+      "          [--recv-timeout-ms N] [--reservoir] [--refill-batch N]\n"
+      "          <command>...\n"
       "commands:\n"
       "  classify [--count N]   classify N held-out samples (default 4)\n"
-      "  similarity             evaluate model similarity T\n",
+      "  similarity             evaluate model similarity T\n"
+      "--reservoir and --refill-batch are local tuning knobs (equivalent to\n"
+      "the :reservoir / :refill=<n> scenario tokens): the handshake digest\n"
+      "excludes them, so they never have to match the daemon's.\n",
       argv0);
   return 2;
 }
@@ -42,6 +48,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::uint64_t rng_seed = 42;
   std::chrono::milliseconds recv_timeout{30000};
+  bool reservoir = false;
+  std::size_t refill_batch = 0;  // 0 = scenario/SchemeConfig default
 
   struct Command {
     std::string kind;
@@ -69,6 +77,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--recv-timeout-ms") {
       recv_timeout =
           std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--reservoir") {
+      reservoir = true;
+    } else if (arg == "--refill-batch") {
+      refill_batch = std::strtoull(next(), nullptr, 10);
+      if (refill_batch == 0) {
+        std::fprintf(stderr, "ppds-cli: --refill-batch must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "classify") {
       commands.push_back({"classify", 4});
     } else if (arg == "similarity") {
@@ -83,12 +99,29 @@ int main(int argc, char** argv) {
   if (connect.empty() || commands.empty()) return usage(argv[0]);
 
   try {
-    const server::Scenario scenario =
-        server::Scenario::make(scenario_text, seed);
+    server::Scenario scenario = server::Scenario::make(scenario_text, seed);
+    // CLI flags override the (digest-excluded) local tuning knobs; the
+    // scenario text itself may also carry :reservoir / :refill=<n>.
+    if (reservoir) scenario.config.reservoir = true;
+    if (refill_batch != 0) scenario.config.refill_batch = refill_batch;
     Rng rng(rng_seed);
 
     auto channel = net::socket_connect(net::SocketAddress::parse(connect));
     channel->set_recv_deadline(net::Deadline::after(recv_timeout));
+
+    // Silent scenarios: one OtBundle for the whole connection, so the
+    // one-round seed agreement runs once and every classify command after
+    // the first draws from the persistent pad ledger. A local reservoir
+    // (when asked for) refills that ledger between commands.
+    std::unique_ptr<crypto::PadReservoir> refill_service;
+    std::unique_ptr<core::OtBundle> ot;
+    if (scenario.config.silent_precompute) {
+      ot = std::make_unique<core::OtBundle>(scenario.config, rng);
+      if (scenario.config.reservoir) {
+        refill_service = std::make_unique<crypto::PadReservoir>(1);
+        ot->attach_reservoir(*refill_service);
+      }
+    }
 
     for (const Command& cmd : commands) {
       if (cmd.kind == "classify") {
@@ -97,8 +130,8 @@ int main(int argc, char** argv) {
         const std::vector<std::vector<double>> samples(
             scenario.queries.begin(),
             scenario.queries.begin() + static_cast<std::ptrdiff_t>(count));
-        const std::vector<int> labels =
-            server::client_classify(*channel, scenario, samples, rng);
+        const std::vector<int> labels = server::client_classify(
+            *channel, scenario, samples, rng, ot.get());
         std::printf("classify (%zu samples):", count);
         std::size_t agree = 0;
         for (std::size_t i = 0; i < labels.size(); ++i) {

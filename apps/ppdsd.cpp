@@ -34,9 +34,14 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--listen tcp:<host>:<port>|unix:<path>]\n"
       "          [--scenario <dataset>[:linear|:poly][:fast|:precomputed|"
-      ":secure]]\n"
+      ":silent|:secure][:reservoir][:refill=<n>]]\n"
       "          [--seed N] [--workers N] [--idle-timeout-ms N]\n"
-      "          [--recv-timeout-ms N] [--max-queries N]\n",
+      "          [--recv-timeout-ms N] [--max-queries N]\n"
+      "          [--reservoir] [--refill-batch N]\n"
+      "--reservoir / --refill-batch are local tuning knobs (same as the\n"
+      ":reservoir / :refill=<n> scenario tokens, digest-excluded): the\n"
+      "daemon runs a shared background pad-refill thread so parked silent\n"
+      "connections wake to pre-filled OT pools.\n",
       argv0);
   return 2;
 }
@@ -49,6 +54,8 @@ int main(int argc, char** argv) {
   std::string listen = "tcp:127.0.0.1:7441";
   std::string scenario_text = "diabetes:linear:fast";
   std::uint64_t seed = 1;
+  bool reservoir = false;
+  std::size_t refill_batch = 0;  // 0 = scenario/SchemeConfig default
   server::DaemonOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +83,14 @@ int main(int argc, char** argv) {
           std::strtoll(next(), nullptr, 10));
     } else if (arg == "--max-queries") {
       options.max_queries = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--reservoir") {
+      reservoir = true;
+    } else if (arg == "--refill-batch") {
+      refill_batch = std::strtoull(next(), nullptr, 10);
+      if (refill_batch == 0) {
+        std::fprintf(stderr, "ppdsd: --refill-batch must be >= 1\n");
+        return 2;
+      }
     } else {
       return usage(argv[0]);
     }
@@ -89,6 +104,9 @@ int main(int argc, char** argv) {
                 scenario_text.c_str(),
                 static_cast<unsigned long long>(seed));
     server::Scenario scenario = server::Scenario::make(scenario_text, seed);
+    // Flags override the (digest-excluded) local knobs from the spec text.
+    if (reservoir) scenario.config.reservoir = true;
+    if (refill_batch != 0) scenario.config.refill_batch = refill_batch;
 
     server::Daemon daemon(std::move(scenario), options);
     daemon.start();
@@ -117,9 +135,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.sessions_ok.load()),
         static_cast<unsigned long long>(s.sessions_failed.load()));
     std::printf(
-        "ppdsd: ot abort audit: %llu aborts, %llu wiped clean%s\n",
+        "ppdsd: ot abort audit: %llu aborts, %llu wiped clean "
+        "(%llu frontier wipes, %llu reservoir wipes)%s\n",
         static_cast<unsigned long long>(audit.aborts.load()),
         static_cast<unsigned long long>(audit.wiped.load()),
+        static_cast<unsigned long long>(audit.frontier_wipes.load()),
+        static_cast<unsigned long long>(audit.reservoir_wipes.load()),
         audit.aborts.load() == audit.wiped.load() ? " (all pools zeroed)"
                                                   : " (WIPE FAILURE)");
     return audit.aborts.load() == audit.wiped.load() ? 0 : 1;

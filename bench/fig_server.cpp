@@ -21,11 +21,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "ppds/common/stopwatch.hpp"
+#include "ppds/core/session.hpp"
+#include "ppds/crypto/reservoir.hpp"
 #include "ppds/net/socket.hpp"
 #include "ppds/server/client.hpp"
 #include "ppds/server/daemon.hpp"
@@ -70,12 +74,26 @@ Row measure(const server::Daemon& daemon, const server::Scenario& scenario,
         channel->set_recv_deadline(
             net::Deadline::after(std::chrono::milliseconds{120000}));
         Rng rng(1000 + c);
+        // Silent scenarios keep one OtBundle per CONNECTION on both ends
+        // (the daemon does the same): the seed agreement runs once and
+        // later sessions reuse the PPRF ledger. With the reservoir knob on,
+        // the client mirrors the daemon's background refill thread.
+        std::optional<crypto::PadReservoir> reservoir;
+        std::unique_ptr<core::OtBundle> ot;
+        if (scenario.config.silent_precompute) {
+          ot = std::make_unique<core::OtBundle>(scenario.config, rng);
+          if (scenario.config.reservoir) {
+            reservoir.emplace(1);
+            ot->attach_reservoir(*reservoir);
+          }
+        }
         const std::vector<std::vector<double>> sample = {
             scenario.queries[c % scenario.queries.size()]};
         latencies[c].reserve(sessions_per_conn);
         for (std::size_t s = 0; s < sessions_per_conn; ++s) {
           Stopwatch session;
-          (void)server::client_classify(*channel, scenario, sample, rng);
+          (void)server::client_classify(*channel, scenario, sample, rng,
+                                        ot.get());
           latencies[c].push_back(session.millis());
         }
         server::client_goodbye(*channel);
@@ -162,6 +180,48 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.sessions_failed.load()),
               static_cast<unsigned long long>(stats.connections_reaped.load()));
 
+  // --- Silent keep-alive: cold engines vs daemon-level warm reservoir ---
+  // Real precomputed crypto (kModp1024) on keep-alive connections; the
+  // persistent per-connection bundle reuses one seed agreement, and the
+  // :reservoir leg lets the daemon's background thread pre-expand pads
+  // between sessions, so a waking connection finds warm pools.
+  bench::banner("silent keep-alive: cold engines vs warm reservoir");
+  const std::string cold_spec = "diabetes:linear:silent";
+  const std::string warm_spec = "diabetes:linear:silent:reservoir";
+  const std::vector<std::size_t> silent_sweep =
+      quick ? std::vector<std::size_t>{1, 4} : std::vector<std::size_t>{1, 4, 8};
+  const std::size_t silent_sessions = quick ? 3 : 10;
+  std::uint64_t silent_failed = 0;
+
+  std::printf("%-10s %12s %10s %14s %9s %9s\n", "engines", "connections",
+              "sessions", "sessions/sec", "p50_ms", "p99_ms");
+  bench::rule(70);
+  auto silent_rows = bench::Json::array();
+  for (const bool warm : {false, true}) {
+    const server::Scenario silent_scenario =
+        server::Scenario::make(warm ? warm_spec : cold_spec, 2031);
+    server::Daemon silent_daemon(silent_scenario, options);
+    silent_daemon.start();
+    for (const std::size_t connections : silent_sweep) {
+      const Row row =
+          measure(silent_daemon, silent_scenario, connections, silent_sessions);
+      std::printf("%-10s %12zu %10zu %14.1f %9.3f %9.3f\n",
+                  warm ? "warm" : "cold", row.connections, row.sessions,
+                  row.sessions_per_sec, row.p50_ms, row.p99_ms);
+      auto j = bench::Json::object();
+      j.set("reservoir", warm);
+      j.set("connections", static_cast<std::uint64_t>(row.connections));
+      j.set("sessions", static_cast<std::uint64_t>(row.sessions));
+      j.set("wall_ms", row.wall_ms);
+      j.set("sessions_per_sec", row.sessions_per_sec);
+      j.set("p50_ms", row.p50_ms);
+      j.set("p99_ms", row.p99_ms);
+      silent_rows.push(std::move(j));
+    }
+    silent_daemon.stop();
+    silent_failed += silent_daemon.stats().sessions_failed.load();
+  }
+
   auto doc = bench::Json::object();
   doc.set("bench", "fig_server");
   doc.set("quick", quick);
@@ -172,6 +232,14 @@ int main(int argc, char** argv) {
   doc.set("sessions_ok", stats.sessions_ok.load());
   doc.set("sessions_failed", stats.sessions_failed.load());
   doc.set("rows", std::move(rows));
+  auto silent_doc = bench::Json::object();
+  silent_doc.set("cold_scenario", cold_spec);
+  silent_doc.set("warm_scenario", warm_spec);
+  silent_doc.set("sessions_per_connection",
+                 static_cast<std::uint64_t>(silent_sessions));
+  silent_doc.set("sessions_failed", silent_failed);
+  silent_doc.set("rows", std::move(silent_rows));
+  doc.set("silent_keepalive", std::move(silent_doc));
   doc.write_file("BENCH_server.json");
-  return stats.sessions_failed.load() == 0 ? 0 : 1;
+  return stats.sessions_failed.load() + silent_failed == 0 ? 0 : 1;
 }

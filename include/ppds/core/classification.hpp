@@ -65,8 +65,12 @@ class ClassificationServer {
   ClassificationServer(svm::SvmModel model, ClassificationProfile profile,
                        SchemeConfig config);
 
-  /// Serves \p count queries over the channel.
-  void serve(net::Endpoint& channel, std::size_t count, Rng& rng) const;
+  /// Serves \p count queries over the channel. \p external, when given, is
+  /// a caller-owned OtBundle reused across sessions (persistent silent-OT
+  /// pools: the seed agreement and pad reservoir survive the session); by
+  /// default a session-local bundle is built and torn down here.
+  void serve(net::Endpoint& channel, std::size_t count, Rng& rng,
+             OtBundle* external = nullptr) const;
 
  private:
   PPDS_SECRET svm::SvmModel model_;
@@ -110,15 +114,16 @@ class ClassificationClient {
   /// Batch of queries against a server serving the same count. REQUIRED
   /// form for OtEngine::kPrecomputed (the offline OT pool is sized and
   /// exchanged once for the whole batch); equivalent to a loop of
-  /// query_value() for the other engines.
+  /// query_value() for the other engines. \p external as in
+  /// ClassificationServer::serve().
   std::vector<double> query_values_batch(
       net::Endpoint& channel, const std::vector<std::vector<double>>& samples,
-      Rng& rng) const;
+      Rng& rng, OtBundle* external = nullptr) const;
 
   /// Batch classify: signs of query_values_batch.
   std::vector<int> classify_batch(
       net::Endpoint& channel, const std::vector<std::vector<double>>& samples,
-      Rng& rng) const;
+      Rng& rng, OtBundle* external = nullptr) const;
 
  private:
   ClassificationProfile profile_;

@@ -34,6 +34,31 @@ struct SchemeConfig {
   /// useful for baseline benchmarks and equivalence tests.
   bool fixed_base_tables = true;
 
+  /// Silent-OT offline phase for OtEngine::kPrecomputed: one PPRF seed
+  /// agreement replaces the per-batch DH exponentiations, and slot refills
+  /// become 16-byte correction rows instead of group elements. CHANGES the
+  /// wire format, so both parties must agree — it is hashed into the
+  /// protocol digest (core/session.hpp).
+  bool silent_precompute = false;
+
+  /// Background pad-refill service (crypto/reservoir.hpp): expand silent-OT
+  /// pads off the protocol thread. Purely local scheduling — never touches
+  /// the wire (transcripts are bit-identical either way), so it is EXCLUDED
+  /// from the protocol digest, like fixed_base_tables.
+  bool reservoir = false;
+
+  /// Batch size for non-silent precomputed-OT pool top-ups. Affects how
+  /// many slots an offline round trip fills (both sides must match for the
+  /// non-silent engine — reserve() fails closed on disagreement) but not
+  /// the protocol identity, so it is digest-excluded. Silent staging sizes
+  /// come from protocol constants (crypto::kSilentStageQuantum), making
+  /// this knob wire-irrelevant there.
+  std::size_t refill_batch = 128;
+
+  /// Low-water mark the reservoir refills silent pad pools against.
+  /// Local-only, digest-excluded.
+  std::size_t ot_low_water = 16;
+
   /// Convenience presets.
   static SchemeConfig secure_default() { return SchemeConfig{}; }
 
@@ -43,6 +68,15 @@ struct SchemeConfig {
     cfg.ot_engine = OtEngine::kLoopback;
     cfg.ompe.q = 4;
     cfg.ompe.k = 2;
+    return cfg;
+  }
+
+  /// Silent-precompute preset: fast_simulation's OMPE shape with the
+  /// precomputed engine running the PPRF offline phase.
+  static SchemeConfig silent() {
+    SchemeConfig cfg = fast_simulation();
+    cfg.ot_engine = OtEngine::kPrecomputed;
+    cfg.silent_precompute = true;
     return cfg;
   }
 };
@@ -90,8 +124,17 @@ class OtBundle {
   /// the stateless engines have nothing to discard.
   void abort() noexcept;
 
+  /// Hooks both silent engines (if cfg.silent_precompute) to a background
+  /// refill reservoir. The destructor detaches; no-op otherwise.
+  void attach_reservoir(crypto::PadReservoir& reservoir);
+
   crypto::OtSender& sender();
   crypto::OtReceiver& receiver();
+
+  /// Batched-engine views (nullptr unless engine == kPrecomputed): the
+  /// audit/observability hooks live on the concrete types.
+  crypto::BatchedOtSender* batched_sender() { return batched_sender_; }
+  crypto::BatchedOtReceiver* batched_receiver() { return batched_receiver_; }
 
  private:
   SchemeConfig cfg_;

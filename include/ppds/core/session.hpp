@@ -39,11 +39,14 @@ crypto::Digest protocol_digest(const ClassificationProfile& profile,
 
 /// Server side: performs the handshake, then serves the negotiated number
 /// of queries. Throws ProtocolError on any mismatch (after sending the
-/// denial so the client fails cleanly too).
+/// denial so the client fails cleanly too). \p external, when given, is a
+/// caller-owned OtBundle reused across sessions on the same connection
+/// (persistent silent-OT pools — see ClassificationServer::serve).
 void serve_session(const ClassificationServer& server,
                    const ClassificationProfile& profile,
                    const SchemeConfig& config, net::Endpoint& channel,
-                   Rng& rng, std::size_t max_queries = 1 << 20);
+                   Rng& rng, std::size_t max_queries = 1 << 20,
+                   OtBundle* external = nullptr);
 
 /// Client side: handshakes for samples.size() queries, then classifies them
 /// all. Throws ProtocolError if the server denies the parameters.
@@ -52,7 +55,7 @@ std::vector<int> classify_session(const ClassificationClient& client,
                                   const SchemeConfig& config,
                                   net::Endpoint& channel,
                                   const std::vector<std::vector<double>>& samples,
-                                  Rng& rng);
+                                  Rng& rng, OtBundle* external = nullptr);
 
 /// Digest of the similarity protocol's public parameters (data space,
 /// kernel, scheme config).

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ppds/common/bytes.hpp"
@@ -170,6 +171,12 @@ inline constexpr std::size_t kMaxDirectArity = 256;
 /// (0 when n == 1, where the single message is sent directly).
 std::size_t index_bits(std::size_t n);
 
+// Silent-OT machinery (crypto/silent_ot.hpp, crypto/reservoir.hpp) — kept
+// behind forward declarations so the base OT header stays cycle-free.
+class SilentPadSender;
+class SilentPadReceiver;
+class PadReservoir;
+
 /// k-out-of-n OT engine whose public-key work has been moved OFFLINE: the
 /// constructor consumes a batch of precomputed random-pad 1-out-of-2 OTs
 /// (Beaver correction), and every online k-out-of-n transfer costs only
@@ -244,9 +251,19 @@ std::vector<PrecomputedRecvSlot> precompute_ot_receiver(
 /// reading ppdsd's shutdown stats) asserts wiped == aborts to PROVE that
 /// every mid-protocol failure in the process zeroed its pad pools, without
 /// reaching into engines owned by other threads' dead sessions.
+///
+/// Engines running the silent precompute additionally report their GGM
+/// state: `frontier_wipes` counts aborts whose post-wipe frontier scan
+/// (every tree root seed zeroed, the column-choice mask zeroed) came back
+/// clean, and `reservoir_wipes` counts aborts whose staged correction
+/// bytes, pre-expanded row material and unconsumed pads all scanned zero —
+/// with the background refill thread racing the abort. Disconnect tests
+/// assert both equal the number of silent-engine aborts.
 struct OtAbortAudit {
   std::atomic<std::uint64_t> aborts{0};
   std::atomic<std::uint64_t> wiped{0};
+  std::atomic<std::uint64_t> frontier_wipes{0};
+  std::atomic<std::uint64_t> reservoir_wipes{0};
 };
 
 OtAbortAudit& ot_abort_audit();
@@ -291,11 +308,34 @@ class BatchedOtSender : public OtSender {
   /// poking freed memory).
   bool pool_wiped() const;
 
-  /// Unconsumed slots summed across every arity pool.
+  /// Unconsumed slots summed across every arity pool. Alias of
+  /// available_slots() — see there for the coherence contract.
   std::size_t remaining() const;
 
   /// Unconsumed slots of one arity.
   std::size_t remaining(std::size_t arity) const;
+
+  /// Coherent unconsumed-slot accessors: one snapshot under the engine
+  /// lock, never a lock-free sum racing a background refill. In silent
+  /// mode these report the staged/consumed LEDGER (the protocol-
+  /// deterministic quantity), not the locally-timed expansion level.
+  std::size_t available_slots() const;
+  std::size_t available_slots(std::size_t arity) const;
+
+  /// Switches the offline phase to the silent PPRF engine: one base-OT
+  /// handshake on first reserve(), then corrections-only staging. Call
+  /// before any reserve()/transfer; \p low_water is the per-arity pool mark
+  /// the background reservoir refills against.
+  void enable_silent(std::size_t low_water);
+  bool silent_enabled() const { return silent_ != nullptr; }
+  SilentPadSender* silent_engine() { return silent_.get(); }
+  const SilentPadSender* silent_engine() const { return silent_.get(); }
+
+  /// Hooks the silent engine to a background reservoir (no-op without
+  /// enable_silent()). detach_reservoir() blocks until the reservoir's
+  /// workers have left the engine; the destructor detaches automatically.
+  void attach_reservoir(PadReservoir& reservoir);
+  void detach_reservoir() noexcept;
 
  private:
   struct Pool {
@@ -309,9 +349,14 @@ class BatchedOtSender : public OtSender {
   NaorPinkasSender base_;
   Rng& rng_;
   std::size_t refill_batch_;
+  std::size_t low_water_ = 0;
+  // Guards pools_ so available_slots() observers on other threads see a
+  // coherent snapshot; the protocol thread is the only mutator.
+  mutable std::mutex pools_mu_;
   // Pool bookkeeping (arity, counts, cursor) is public protocol metadata;
   // the secrets live in the slots' annotated fields.
   std::vector<Pool> pools_;
+  std::unique_ptr<SilentPadSender> silent_;
   bool aborted_ = false;
 };
 
@@ -339,6 +384,19 @@ class BatchedOtReceiver : public OtReceiver {
   std::size_t remaining() const;
   std::size_t remaining(std::size_t arity) const;
 
+  /// See BatchedOtSender::available_slots().
+  std::size_t available_slots() const;
+  std::size_t available_slots(std::size_t arity) const;
+
+  /// See BatchedOtSender::enable_silent().
+  void enable_silent(std::size_t low_water);
+  bool silent_enabled() const { return silent_ != nullptr; }
+  SilentPadReceiver* silent_engine() { return silent_.get(); }
+  const SilentPadReceiver* silent_engine() const { return silent_.get(); }
+
+  void attach_reservoir(PadReservoir& reservoir);
+  void detach_reservoir() noexcept;
+
  private:
   struct Pool {
     std::size_t arity = 2;
@@ -351,7 +409,10 @@ class BatchedOtReceiver : public OtReceiver {
   NaorPinkasReceiver base_;
   Rng& rng_;
   std::size_t refill_batch_;
+  std::size_t low_water_ = 0;
+  mutable std::mutex pools_mu_;
   std::vector<Pool> pools_;
+  std::unique_ptr<SilentPadReceiver> silent_;
   bool aborted_ = false;
 };
 

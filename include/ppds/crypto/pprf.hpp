@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ppds/common/secret_taint.hpp"
+#include "ppds/crypto/sha256.hpp"
+
+/// \file pprf.hpp
+/// GGM puncturable PRF: a binary tree of 32-byte seeds whose root stretches
+/// into a domain of 2^depth leaves through the counter-mode PRG
+/// (crypto/prg.hpp). Each internal seed derives its two children as the
+/// first 64 keystream bytes of Prg(seed); a leaf IS its 32-byte seed.
+///
+/// Three evaluation modes, all bit-identical on the shared domain:
+///
+///   leaf(i)            — random access, re-derives the root-to-leaf path
+///                        (depth PRG calls, no retained state);
+///   expand_range(...)  — frontier walk over [first, last): a depth-first
+///                        descent that keeps only the O(depth) co-path of
+///                        live seeds instead of O(domain) nodes, emitting
+///                        leaves in order. This is how the silent-OT
+///                        keystream columns are expanded block by block.
+///   expand_all_naive() — full level-by-level expansion holding whole
+///                        levels in memory; the test oracle the frontier
+///                        walk is checked against at every depth.
+///
+/// puncture(i) yields the classic punctured key: the co-path seeds of leaf
+/// i, which evaluate every leaf EXCEPT i (the receiver-side artifact of
+/// punctured-PRF OT constructions; property-tested in tests/crypto).
+///
+/// Every seed in this file is correlated-randomness key material: roots and
+/// co-path seeds are PPDS_SECRET taint roots, and wipe() supports the
+/// abort-audit contract (ot_abort_audit().frontier_wipes counts verified
+/// frontier wipes — see crypto/silent_ot.cpp).
+
+namespace ppds::crypto {
+
+/// Derives the two children of a GGM node: (left, right) = first 64
+/// keystream bytes of Prg(seed).
+void ggm_children(const Digest& seed, Digest& left, Digest& right);
+
+class GgmTree {
+ public:
+  GgmTree() = default;
+
+  /// \p depth in [0, 63]; the domain is 1 << depth leaves.
+  GgmTree(const Digest& root, unsigned depth);
+
+  ~GgmTree();
+  GgmTree(const GgmTree&) = default;
+  GgmTree& operator=(const GgmTree&) = default;
+
+  unsigned depth() const { return depth_; }
+  std::uint64_t leaves() const { return std::uint64_t{1} << depth_; }
+
+  /// Random access: derives leaf \p index from the root (depth PRG calls).
+  /// Thread-safe for concurrent callers — evaluation is a pure function of
+  /// the root seed and mutates no shared state.
+  Digest leaf(std::uint64_t index) const;
+
+  /// Frontier walk over leaves [first, last): depth-first descent keeping
+  /// O(depth) live seeds, calling \p sink(index, leaf) in increasing index
+  /// order. Bit-identical to leaf()/expand_all_naive().
+  void expand_range(
+      std::uint64_t first, std::uint64_t last,
+      const std::function<void(std::uint64_t, const Digest&)>& sink) const;
+
+  /// Level-by-level full expansion (O(domain) memory) — the reference the
+  /// frontier walk is tested against. Keep depths small.
+  std::vector<Digest> expand_all_naive() const;
+
+  /// Zeroes the root seed (the entire frontier of this tree's live state)
+  /// and marks the tree dead. leaf()/expand after wipe() throws.
+  void wipe() noexcept;
+
+  bool wiped() const { return wiped_; }
+
+  /// Co-path seeds of leaf \p index, root level first (needs the private
+  /// root, hence a member; see puncture() below for the packaged key).
+  std::vector<Digest> expand_copath(std::uint64_t index) const;
+
+ private:
+  PPDS_SECRET Digest root_{};
+  unsigned depth_ = 0;
+  bool wiped_ = true;  // default-constructed tree holds no key material
+};
+
+/// Punctured key for one leaf: the sibling seed at every level of the
+/// root-to-leaf path. Evaluates every leaf except `index`; the punctured
+/// leaf is information-theoretically absent from the key.
+struct PuncturedKey {
+  std::uint64_t index = 0;
+  unsigned depth = 0;
+  /// copath[d] is the sibling seed at level d+1 (root level first); the
+  /// subtree it roots covers the leaves that branch off the punctured path
+  /// at depth d.
+  PPDS_SECRET std::vector<Digest> copath;
+
+  /// Evaluates leaf \p i != index (throws on the punctured point).
+  Digest leaf(std::uint64_t i) const;
+
+  /// All 2^depth leaves with the punctured slot zeroed (test helper).
+  std::vector<Digest> expand_all() const;
+
+  void wipe() noexcept;
+};
+
+/// Derives the punctured key for \p index from the full tree.
+PuncturedKey puncture(const GgmTree& tree, std::uint64_t index);
+
+}  // namespace ppds::crypto

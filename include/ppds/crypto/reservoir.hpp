@@ -1,0 +1,85 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ppds/crypto/silent_ot.hpp"
+
+/// \file reservoir.hpp
+/// Background pad-refill service for the silent-OT engines. A PadReservoir
+/// owns one or more worker threads (the same mutex + condition-variable
+/// idiom as ppds::ThreadPool) that watch a set of attached RefillTarget
+/// engines and run their PRG/hash expansion work off the protocol thread
+/// whenever a pool sinks under its low-water mark. Engines kick() the
+/// reservoir when they stage new work or drain a pool; workers sleep
+/// otherwise.
+///
+/// Lock ordering is reservoir mutex -> target mutex, everywhere: workers
+/// scan needs_refill() while holding the reservoir lock (each check briefly
+/// takes the target lock), and targets never call into the reservoir while
+/// holding their own lock (they copy the pointer out first). refill_step()
+/// itself runs with NO reservoir lock held so staging and aborts proceed
+/// concurrently.
+///
+/// Shutdown contract: detach() blocks until no worker is inside the
+/// departing target, so an engine may be destroyed the moment detach()
+/// returns; stop() (and the destructor) joins all workers. The daemon holds
+/// one shared reservoir across connections and joins it on SIGTERM drain
+/// after the session workers (server/daemon.cpp).
+
+namespace ppds::crypto {
+
+class PadReservoir {
+ public:
+  /// Spawns \p workers refill threads immediately (at least one).
+  explicit PadReservoir(std::size_t workers = 1);
+
+  /// stop()s if still running.
+  ~PadReservoir();
+
+  PadReservoir(const PadReservoir&) = delete;
+  PadReservoir& operator=(const PadReservoir&) = delete;
+
+  /// Adds \p target to the watch set and wakes the workers. Callers are
+  /// responsible for detaching before \p target dies; the silent-OT engines
+  /// do this from their destructors only when attached through their own
+  /// attach_reservoir(), so prefer that entry point over calling this
+  /// directly.
+  void attach(RefillTarget& target);
+
+  /// Removes \p target and BLOCKS until no worker is inside it; the target
+  /// may be destroyed as soon as this returns. Safe to call for a target
+  /// that was never attached.
+  void detach(RefillTarget& target) noexcept;
+
+  /// Wakes the workers to re-scan (called by engines on staging/drain).
+  void kick();
+
+  /// Signals shutdown and joins all workers. Idempotent.
+  void stop() noexcept;
+
+  std::size_t workers() const { return workers_.size(); }
+  std::size_t attached() const;
+
+  /// Total refill_step() invocations across all workers (bench/test stat).
+  std::uint64_t steps() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       ///< workers sleep here between kicks
+  std::condition_variable idle_cv_;  ///< detach() waits for workers to leave
+  std::vector<RefillTarget*> targets_;
+  std::vector<RefillTarget*> active_;  ///< targets currently inside a step
+  bool stopping_ = false;
+  std::uint64_t steps_ = 0;
+  std::size_t cursor_ = 0;  ///< round-robin fairness across targets
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ppds::crypto

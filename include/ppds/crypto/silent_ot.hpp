@@ -1,0 +1,302 @@
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "ppds/common/bytes.hpp"
+#include "ppds/common/rng.hpp"
+#include "ppds/common/secret_taint.hpp"
+#include "ppds/common/watermark.hpp"
+#include "ppds/crypto/ot.hpp"
+#include "ppds/crypto/pprf.hpp"
+#include "ppds/crypto/prg.hpp"
+
+/// \file silent_ot.hpp
+/// Silent OT precompute: a KK13-style OT extension that replaces the
+/// batched DH offline phase (one full exponentiation and one group element
+/// of bandwidth PER SLOT) with PPRF-expanded correlated keystreams.
+///
+/// One-round-trip seed agreement: the pad-SENDER plays base-OT *receiver*
+/// for kSilentColumns 1-of-2 transfers of 32-byte seeds (role flip), so it
+/// ends up with one GGM root per column j plus the secret choice bit
+/// Delta_j; the pad-RECEIVER plays base-OT sender and keeps BOTH roots
+/// (k0_j, k1_j). That single amortized handshake — O(columns) = O(log
+/// domain) seeds, since the 2^depth-leaf trees cover kSilentRowsPerLeaf *
+/// 2^depth pad slots — is the only public-key work for the engine's entire
+/// lifetime.
+///
+/// Per pad slot (row r, arity n):
+///   receiver: draws secret alpha_r in [0, n), sends the 16-byte correction
+///             u_r = t0_r XOR t1_r XOR C(alpha_r); its pad is
+///             H(r, t0_r).
+///   sender:   Q_r = t^{Delta}_r XOR (Delta AND u_r) = t0_r XOR
+///             (C(alpha_r) AND Delta); pad v is H(r, Q_r XOR (C(v) AND
+///             Delta)), which matches the receiver's at v = alpha_r and
+///             costs 2^64 guesses of Delta elsewhere (the RM(1,7) code has
+///             distance 64; see docs/PROTOCOL.md).
+///
+/// The column streams t^b_j are the leaves of per-column GgmTrees expanded
+/// frontier-style in blocks, so refills are PRG+hash work a background
+/// PadReservoir performs off the protocol thread; the wire carries only the
+/// deterministic correction blocks, sized by the shared staged/consumed
+/// ledger — never by locally-timed pool levels — so transcripts are
+/// independent of reservoir scheduling.
+
+namespace ppds::crypto {
+
+/// Number of base OTs / keystream columns. 128 columns with the RM(1,7)
+/// codeword set (256 codewords, minimum distance 64) serve every direct
+/// slot arity in [2, kMaxDirectArity].
+inline constexpr std::size_t kSilentColumns = 128;
+inline constexpr std::size_t kSilentRowBytes = kSilentColumns / 8;
+
+/// One 32-byte GGM leaf carries 256 rows of one column's keystream.
+inline constexpr std::size_t kSilentRowsPerLeaf = 256;
+
+/// Tree depth: 2^16 leaves * 256 rows = ~16.7M pad slots per engine
+/// lifetime; exhausting the domain fails closed (ProtocolError).
+inline constexpr unsigned kSilentTreeDepth = 16;
+
+/// Correction blocks are staged in multiples of this many rows — a
+/// PROTOCOL constant (both sides derive identical block sizes from the
+/// ledger), deliberately not the local refill_batch tuning knob.
+inline constexpr std::size_t kSilentStageQuantum = 128;
+
+/// Ledger lead maintained ahead of consumption so the background expander
+/// has runway; also a protocol constant for the same reason.
+inline constexpr std::size_t kSilentLeadSlots = 16;
+
+using SilentRow = std::array<std::uint8_t, kSilentRowBytes>;
+
+/// RM(1,7) codeword of \p v: bit j = parity((v & 127) & j) XOR (v >> 7).
+/// Branch-free and table-free, so safe to evaluate on a SECRET index (the
+/// receiver's choice alpha) without a data-dependent memory access.
+SilentRow silent_codeword_ct(std::uint32_t v);
+
+/// Cached codeword table — PUBLIC indices only (the sender's pads loop).
+const std::array<SilentRow, kMaxDirectArity>& silent_codewords();
+
+class PadReservoir;
+
+/// One unit of background work the PadReservoir can drive. Implementations
+/// are internally synchronized; refill_step() never touches a channel.
+class RefillTarget {
+ public:
+  virtual ~RefillTarget() = default;
+
+  /// Performs one block of expansion work. Returns false when nothing was
+  /// pending (the reservoir then sleeps until kicked).
+  virtual bool refill_step() = 0;
+
+  /// Cheap (locking) check whether refill_step() has work.
+  virtual bool needs_refill() = 0;
+};
+
+/// --- Sender half -------------------------------------------------------------
+
+class SilentPadSender : public RefillTarget {
+ public:
+  SilentPadSender(const DhGroup& group, Rng& rng, std::size_t low_water);
+  ~SilentPadSender() override;
+
+  SilentPadSender(const SilentPadSender&) = delete;
+  SilentPadSender& operator=(const SilentPadSender&) = delete;
+
+  /// One-round-trip seed agreement (lazy; protocol thread). No-op once run.
+  void ensure_ready(net::Endpoint& channel);
+  bool ready() const;
+
+  /// Protocol thread: receives correction blocks until the ledger covers
+  /// \p count unconsumed arity-\p arity slots. Pure bookkeeping + recv —
+  /// the expansion happens in refill_step() (or lazily in take()).
+  void stage_to(net::Endpoint& channel, std::size_t arity, std::size_t count);
+
+  /// Protocol thread: pops one finished slot (ledger must cover it). Waits
+  /// for the reservoir when attached, expands inline otherwise.
+  PrecomputedSendSlot take(std::size_t arity);
+
+  /// Slots staged on the wire ledger and not yet consumed (the
+  /// protocol-deterministic quantity reserve() sizes from).
+  std::size_t ledger_available(std::size_t arity) const;
+  std::size_t ledger_available_total() const;
+
+  /// Slots fully expanded and ready for take() without any work.
+  std::size_t expanded_available(std::size_t arity) const;
+
+  // RefillTarget:
+  bool refill_step() override;
+  bool needs_refill() override;
+
+  void attach_reservoir(PadReservoir* reservoir);
+  void detach_reservoir() noexcept;
+
+  /// Wipes frontier seeds, staged corrections and unconsumed pads; poisons
+  /// the engine. The caller (BatchedOtSender::abort) feeds the audit.
+  void abort() noexcept;
+  bool aborted() const;
+
+  /// Post-abort hygiene scans (audit hooks).
+  bool frontier_clean() const;  ///< every GGM root seed zeroed
+  bool pads_clean() const;      ///< every staged byte + unconsumed pad zeroed
+
+  /// Times the protocol thread had to expand synchronously (cold path);
+  /// zero when a warm reservoir keeps up.
+  std::uint64_t sync_expansions() const;
+  /// Times take() had to sleep for the background expander.
+  std::uint64_t take_waits() const;
+
+ private:
+  struct Ledger {
+    std::size_t arity = 2;
+    std::size_t staged = 0;
+    std::size_t consumed = 0;
+  };
+  struct PendingBlock {
+    std::size_t arity = 2;
+    std::uint64_t first_row = 0;
+    std::size_t count = 0;
+    PPDS_SECRET Bytes u;  ///< count * kSilentRowBytes correction bytes
+  };
+  struct Pool {
+    std::size_t arity = 2;
+    LowWaterQueue<PrecomputedSendSlot> slots;
+  };
+
+  Ledger& ledger_for(std::size_t arity);
+  Pool& pool_for(std::size_t arity);
+  /// Expands \p block into finished slots (pure PRG+hash; call UNLOCKED —
+  /// reads only the immutable-after-setup trees).
+  std::vector<PrecomputedSendSlot> expand_block(const PendingBlock& block) const;
+  /// Pops + expands the oldest pending block; \p lk held on entry and exit.
+  void expand_front_locked(std::unique_lock<std::mutex>& lk);
+  void kick_reservoir();
+
+  const DhGroup& group_;
+  Rng& rng_;
+  std::size_t low_water_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool busy_ = false;
+  bool ready_ = false;
+  bool aborted_ = false;
+  PadReservoir* reservoir_ = nullptr;
+
+  /// Per-column keystream trees t^{Delta_j}_j and the secret column choice
+  /// mask Delta (the sender's correlation secret).
+  std::vector<GgmTree> trees_;
+  PPDS_SECRET SilentRow delta_{};
+
+  std::uint64_t next_row_ = 0;
+  std::vector<Ledger> ledgers_;
+  std::deque<PendingBlock> pending_;
+  std::vector<Pool> pools_;
+
+  std::uint64_t sync_expansions_ = 0;
+  std::uint64_t take_waits_ = 0;
+};
+
+/// --- Receiver half -----------------------------------------------------------
+
+class SilentPadReceiver : public RefillTarget {
+ public:
+  SilentPadReceiver(const DhGroup& group, Rng& rng, std::size_t low_water);
+  ~SilentPadReceiver() override;
+
+  SilentPadReceiver(const SilentPadReceiver&) = delete;
+  SilentPadReceiver& operator=(const SilentPadReceiver&) = delete;
+
+  void ensure_ready(net::Endpoint& channel);
+  bool ready() const;
+
+  /// Protocol thread: draws choices, builds + SENDS correction blocks until
+  /// the ledger covers \p count unconsumed arity-\p arity slots, and pushes
+  /// the matching finished recv slots. Consumes pre-expanded row material;
+  /// a cold engine expands it inline (counted in sync_expansions()).
+  void stage_to(net::Endpoint& channel, std::size_t arity, std::size_t count);
+
+  /// Protocol thread: pops one finished slot. Receiver slots are built at
+  /// staging time, so this never blocks.
+  PrecomputedRecvSlot take(std::size_t arity);
+
+  std::size_t ledger_available(std::size_t arity) const;
+  std::size_t ledger_available_total() const;
+  std::size_t expanded_available(std::size_t arity) const;
+
+  // RefillTarget (pre-expands row material ahead of the staging cursor):
+  bool refill_step() override;
+  bool needs_refill() override;
+
+  void attach_reservoir(PadReservoir* reservoir);
+  void detach_reservoir() noexcept;
+
+  void abort() noexcept;
+  bool aborted() const;
+  bool frontier_clean() const;
+  bool pads_clean() const;
+
+  std::uint64_t sync_expansions() const;
+
+ private:
+  struct Ledger {
+    std::size_t arity = 2;
+    std::size_t staged = 0;
+    std::size_t consumed = 0;
+  };
+  /// Arity-independent per-row keystream material (row-major, after the
+  /// column->row bit transpose): t0_r and t0_r XOR t1_r.
+  struct RowMaterial {
+    PPDS_SECRET SilentRow t0{};
+    PPDS_SECRET SilentRow ubase{};
+  };
+  struct Pool {
+    std::size_t arity = 2;
+    LowWaterQueue<PrecomputedRecvSlot> slots;
+  };
+
+  Ledger& ledger_for(std::size_t arity);
+  Pool& pool_for(std::size_t arity);
+  /// Expands GGM leaf chunk \p chunk (kSilentRowsPerLeaf rows) of both
+  /// column trees into row material (pure; call UNLOCKED).
+  std::vector<RowMaterial> expand_chunk(std::uint64_t chunk) const;
+  /// Appends one chunk of row material; \p lk held on entry and exit.
+  void expand_next_chunk_locked(std::unique_lock<std::mutex>& lk);
+  std::uint64_t material_through() const;
+  void kick_reservoir();
+
+  const DhGroup& group_;
+  Rng& rng_;
+  std::size_t low_water_;
+  std::size_t ahead_rows_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool busy_ = false;
+  bool ready_ = false;
+  bool aborted_ = false;
+  PadReservoir* reservoir_ = nullptr;
+
+  /// Both column keystream trees per column (the receiver ran the base OTs
+  /// as sender, so it knows k0_j AND k1_j).
+  std::vector<GgmTree> trees0_;
+  std::vector<GgmTree> trees1_;
+  /// Secret choice stream: alpha draws come from a dedicated PRG forked
+  /// from the session rng at setup, so the background thread never touches
+  /// the shared Rng.
+  std::optional<Prg> choice_prg_;
+
+  std::uint64_t next_row_ = 0;
+  std::uint64_t material_from_ = 0;
+  std::deque<RowMaterial> material_;
+  std::vector<Ledger> ledgers_;
+  std::vector<Pool> pools_;
+
+  std::uint64_t sync_expansions_ = 0;
+};
+
+}  // namespace ppds::crypto

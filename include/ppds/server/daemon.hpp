@@ -12,6 +12,7 @@
 
 #include "ppds/core/classification.hpp"
 #include "ppds/core/similarity.hpp"
+#include "ppds/crypto/reservoir.hpp"
 #include "ppds/net/socket.hpp"
 #include "ppds/server/scenario.hpp"
 
@@ -44,7 +45,17 @@
 /// Shutdown (stop(), the SIGTERM path) drains gracefully: the listener
 /// closes first (no new connections), in-flight sessions run to completion
 /// under their recv deadlines, parked connections are closed, and every
-/// thread is joined before stop() returns.
+/// thread is joined before stop() returns — including the shared pad
+/// reservoir's refill thread, which is stopped AFTER the session workers so
+/// no in-flight session loses its background expander mid-drain.
+///
+/// Silent scenarios (SchemeConfig::silent_precompute) give each connection a
+/// PERSISTENT OtBundle: the one-time base-OT seed agreement runs on the
+/// connection's first classification session, and every later session on
+/// that connection draws pads from the already-expanded PPRF ledger. With
+/// `:reservoir` in the scenario spec the daemon additionally runs one shared
+/// crypto::PadReservoir, so a parked keep-alive connection wakes to pools the
+/// background thread refilled while it was idle.
 
 namespace ppds::server {
 
@@ -105,6 +116,13 @@ class Daemon {
   struct Connection {
     std::unique_ptr<net::SocketEndpoint> channel;
     Rng rng;  ///< server-side randomness, sticky to the connection
+    /// Persistent OT state (silent scenarios only): created lazily on the
+    /// connection's first classification session so the PPRF seed agreement
+    /// and expanded pad pools survive across keep-alive sessions. Non-silent
+    /// scenarios keep nullptr — serve_session builds a per-session bundle,
+    /// preserving the historical transcripts bit for bit. Torn down (and
+    /// detached from the reservoir) with the connection.
+    std::unique_ptr<core::OtBundle> ot;
     std::uint64_t id = 0;
     std::chrono::steady_clock::time_point last_activity;
   };
@@ -125,6 +143,10 @@ class Daemon {
   core::SimilarityServer similarity_;
   net::SocketListener listener_;
   DaemonStats stats_;
+  /// Shared background pad-refill service (scenario `:reservoir` only).
+  /// Every silent connection's OtBundle attaches here; stop() shuts it down
+  /// after the session workers join (the SIGTERM drain order).
+  std::unique_ptr<crypto::PadReservoir> reservoir_;
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> next_connection_id_{0};

@@ -22,12 +22,19 @@
 /// `ppds-cli --scenario diabetes:poly` derive identical digests (and
 /// identical models, so results are checkable against the plain model).
 ///
-/// Spec grammar:  <dataset>[:linear|:poly][:fast|:precomputed|:secure]
+/// Spec grammar:
+///   <dataset>[:linear|:poly][:fast|:precomputed|:silent|:secure]
+///            [:reservoir][:refill=<n>]
 ///   dataset — any Table I synthetic dataset name (data/synthetic.hpp)
 ///   kernel  — linear (default) or the paper's polynomial kernel
 ///   preset  — SchemeConfig preset: fast (loopback OT, default),
 ///             precomputed (offline Naor-Pinkas + online hash/XOR),
-///             secure (full Naor-Pinkas per transfer)
+///             silent (precomputed engine with the PPRF silent offline
+///             phase), secure (full Naor-Pinkas per transfer)
+///   reservoir — background pad-refill service (local-only knob; the
+///             protocol digest ignores it, like eval_threads)
+///   refill=<n> — precomputed-OT refill batch size (local-only knob,
+///             digest-excluded)
 /// Everything downstream (trained models, query samples) is a pure
 /// function of (spec text, seed).
 
@@ -37,11 +44,16 @@ namespace ppds::server {
 struct ScenarioSpec {
   std::string dataset = "diabetes";
   bool polynomial = false;
-  enum class Preset { kFast, kPrecomputed, kSecure };
+  enum class Preset { kFast, kPrecomputed, kSilent, kSecure };
   Preset preset = Preset::kFast;
+  /// Background pad-refill service (digest-excluded local knob).
+  bool reservoir = false;
+  /// Precomputed-OT refill batch; 0 means "use the SchemeConfig default"
+  /// (digest-excluded local knob).
+  std::size_t refill_batch = 0;
 
-  /// Parses "<dataset>[:linear|:poly][:fast|:precomputed|:secure]";
-  /// throws InvalidArgument on unknown datasets or tokens.
+  /// Parses the grammar in the file comment; throws InvalidArgument on
+  /// unknown datasets or tokens.
   static ScenarioSpec parse(const std::string& text);
 
   std::string to_string() const;

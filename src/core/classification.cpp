@@ -1,6 +1,7 @@
 #include "ppds/core/classification.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "ppds/common/ct.hpp"
 #include "ppds/common/secret_taint.hpp"
@@ -290,8 +291,9 @@ ClassificationServer::ClassificationServer(svm::SvmModel model,
 }
 
 void ClassificationServer::serve(net::Endpoint& channel, std::size_t count,
-                                 Rng& rng) const {
-  OtBundle ot(config_, rng);
+                                 Rng& rng, OtBundle* external) const {
+  std::optional<OtBundle> local;
+  OtBundle& ot = external != nullptr ? *external : local.emplace(config_, rng);
   // Precomputed engine: run the whole batch's offline OT phase up front
   // (the client's matching batch call does the same).
   channel.set_stage(net::Stage::kOtSetup);
@@ -353,8 +355,9 @@ int ClassificationClient::classify(net::Endpoint& channel,
 
 std::vector<double> ClassificationClient::query_values_batch(
     net::Endpoint& channel, const std::vector<std::vector<double>>& samples,
-    Rng& rng) const {
-  OtBundle ot(config_, rng);
+    Rng& rng, OtBundle* external) const {
+  std::optional<OtBundle> local;
+  OtBundle& ot = external != nullptr ? *external : local.emplace(config_, rng);
   channel.set_stage(net::Stage::kOtSetup);
   try {
     const auto demand =
@@ -389,8 +392,9 @@ std::vector<double> ClassificationClient::query_values_batch(
 
 std::vector<int> ClassificationClient::classify_batch(
     net::Endpoint& channel, const std::vector<std::vector<double>>& samples,
-    Rng& rng) const {
-  const std::vector<double> values = query_values_batch(channel, samples, rng);
+    Rng& rng, OtBundle* external) const {
+  const std::vector<double> values =
+      query_values_batch(channel, samples, rng, external);
   std::vector<int> labels;
   labels.reserve(values.size());
   for (double v : values) {

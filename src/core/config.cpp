@@ -20,8 +20,14 @@ OtBundle::OtBundle(const SchemeConfig& cfg, Rng& rng)
       receiver_ = std::make_unique<crypto::NaorPinkasReceiver>(*group, rng);
       break;
     case OtEngine::kPrecomputed: {
-      auto sender = std::make_unique<crypto::BatchedOtSender>(*group, rng);
-      auto receiver = std::make_unique<crypto::BatchedOtReceiver>(*group, rng);
+      auto sender = std::make_unique<crypto::BatchedOtSender>(
+          *group, rng, cfg.refill_batch);
+      auto receiver = std::make_unique<crypto::BatchedOtReceiver>(
+          *group, rng, cfg.refill_batch);
+      if (cfg.silent_precompute) {
+        sender->enable_silent(cfg.ot_low_water);
+        receiver->enable_silent(cfg.ot_low_water);
+      }
       batched_sender_ = sender.get();
       batched_receiver_ = receiver.get();
       sender_ = std::move(sender);
@@ -90,6 +96,13 @@ void OtBundle::prepare_receiver(net::Endpoint& channel,
 void OtBundle::abort() noexcept {
   if (batched_sender_ != nullptr) batched_sender_->abort();
   if (batched_receiver_ != nullptr) batched_receiver_->abort();
+}
+
+void OtBundle::attach_reservoir(crypto::PadReservoir& reservoir) {
+  if (batched_sender_ != nullptr) batched_sender_->attach_reservoir(reservoir);
+  if (batched_receiver_ != nullptr) {
+    batched_receiver_->attach_reservoir(reservoir);
+  }
 }
 
 crypto::OtSender& OtBundle::sender() {

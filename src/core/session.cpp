@@ -31,6 +31,10 @@ crypto::Digest protocol_digest(const ClassificationProfile& profile,
   }
   w.u8(static_cast<std::uint8_t>(config.ot_engine));
   w.u8(static_cast<std::uint8_t>(config.group));
+  // The silent offline phase changes the precomputed-OT wire format (seed
+  // agreement + correction blocks instead of DH batches), so it is part of
+  // the protocol identity.
+  w.u8(config.silent_precompute ? 1 : 0);
   w.u8(static_cast<std::uint8_t>(config.ompe.backend));
   w.u32(config.ompe.q);
   w.u32(config.ompe.k);
@@ -38,8 +42,8 @@ crypto::Digest protocol_digest(const ClassificationProfile& profile,
   w.f64(config.ompe.node_lo);
   w.f64(config.ompe.node_hi);
   // Local performance knobs (fixed_base_tables, ompe.eval_threads,
-  // ompe.use_eval_dag, ompe.use_simd_field) are deliberately NOT hashed:
-  // they never change wire
+  // ompe.use_eval_dag, ompe.use_simd_field, reservoir, refill_batch,
+  // ot_low_water) are deliberately NOT hashed: they never change wire
   // bytes, so the parties need not agree on them.
   return crypto::sha256(w.data());
 }
@@ -47,7 +51,7 @@ crypto::Digest protocol_digest(const ClassificationProfile& profile,
 void serve_session(const ClassificationServer& server,
                    const ClassificationProfile& profile,
                    const SchemeConfig& config, net::Endpoint& channel,
-                   Rng& rng, std::size_t max_queries) {
+                   Rng& rng, std::size_t max_queries, OtBundle* external) {
   const crypto::Digest mine = protocol_digest(profile, config);
 
   channel.set_stage(net::Stage::kHandshake);
@@ -81,13 +85,14 @@ void serve_session(const ClassificationServer& server,
   }
   // Every post-handshake frame is pinned to the negotiated session id.
   channel.set_session_id(session_id);
-  server.serve(channel, count, rng);
+  server.serve(channel, count, rng, external);
 }
 
 std::vector<int> classify_session(
     const ClassificationClient& client, const ClassificationProfile& profile,
     const SchemeConfig& config, net::Endpoint& channel,
-    const std::vector<std::vector<double>>& samples, Rng& rng) {
+    const std::vector<std::vector<double>>& samples, Rng& rng,
+    OtBundle* external) {
   detail::require(!samples.empty(), "session: no samples");
   const crypto::Digest mine = protocol_digest(profile, config);
 
@@ -112,7 +117,7 @@ std::vector<int> classify_session(
                         to_hex(mine).substr(0, 16) + "...)");
   }
   channel.set_session_id(session_id);
-  return client.classify_batch(channel, samples, rng);
+  return client.classify_batch(channel, samples, rng, external);
 }
 
 namespace {
@@ -185,6 +190,7 @@ crypto::Digest similarity_digest(const svm::Kernel& kernel,
   w.f64(space.theta0);
   w.u8(static_cast<std::uint8_t>(config.ot_engine));
   w.u8(static_cast<std::uint8_t>(config.group));
+  w.u8(config.silent_precompute ? 1 : 0);  // wire-format change: hashed
   w.u32(config.ompe.q);
   w.u32(config.ompe.k);
   w.f64(config.ompe.node_lo);

@@ -6,6 +6,8 @@
 #include "ppds/common/ct.hpp"
 #include "ppds/common/error.hpp"
 #include "ppds/crypto/prg.hpp"
+#include "ppds/crypto/reservoir.hpp"
+#include "ppds/crypto/silent_ot.hpp"
 
 namespace ppds::crypto {
 
@@ -592,6 +594,15 @@ void wipe_recv_slot(PrecomputedRecvSlot& slot) {
   slot.choice = 0;
 }
 
+/// Bumps the pool cursor under the engine lock so available_slots() readers
+/// on other threads always see a coherent level. Only the protocol thread
+/// mutates, so the returned index stays valid after the lock drops.
+template <typename Pool>
+std::size_t take_index(std::mutex& mu, Pool& pool) {
+  std::lock_guard lk(mu);
+  return pool.next++;
+}
+
 }  // namespace
 
 BatchedOtSender::BatchedOtSender(const DhGroup& group, Rng& rng,
@@ -601,22 +612,54 @@ BatchedOtSender::BatchedOtSender(const DhGroup& group, Rng& rng,
       refill_batch_(std::max<std::size_t>(refill_batch, 1)) {}
 
 BatchedOtSender::~BatchedOtSender() {
+  // unique_ptr destruction detaches any reservoir and wipes the silent
+  // engine's own state (see SilentPadSender::~SilentPadSender).
   for (Pool& pool : pools_) {
     for (PrecomputedSendSlot& slot : pool.slots) wipe_send_slot(slot);
   }
 }
 
+void BatchedOtSender::enable_silent(std::size_t low_water) {
+  detail::require(!aborted_, "ot: aborted engine cannot be resumed");
+  detail::require(pools_.empty(), "ot: enable_silent before any reserve");
+  low_water_ = low_water;
+  silent_ = std::make_unique<SilentPadSender>(base_.group(), rng_, low_water);
+}
+
+void BatchedOtSender::attach_reservoir(PadReservoir& reservoir) {
+  if (silent_) silent_->attach_reservoir(&reservoir);
+}
+
+void BatchedOtSender::detach_reservoir() noexcept {
+  if (silent_) silent_->detach_reservoir();
+}
+
 void BatchedOtSender::abort() noexcept {
-  for (Pool& pool : pools_) {
-    for (PrecomputedSendSlot& slot : pool.slots) wipe_send_slot(slot);
-    pool.next = pool.slots.size();  // nothing left to consume
+  const bool silent = silent_ != nullptr;
+  if (silent) silent_->abort();
+  {
+    std::lock_guard lk(pools_mu_);
+    for (Pool& pool : pools_) {
+      for (PrecomputedSendSlot& slot : pool.slots) wipe_send_slot(slot);
+      pool.next = pool.slots.size();  // nothing left to consume
+    }
   }
   aborted_ = true;
   ot_abort_audit().aborts.fetch_add(1);
   if (pool_wiped()) ot_abort_audit().wiped.fetch_add(1);
+  if (silent) {
+    if (silent_->frontier_clean()) {
+      ot_abort_audit().frontier_wipes.fetch_add(1);
+    }
+    if (silent_->pads_clean()) {
+      ot_abort_audit().reservoir_wipes.fetch_add(1);
+    }
+  }
 }
 
 bool BatchedOtSender::pool_wiped() const {
+  if (silent_ && !silent_->pads_clean()) return false;
+  std::lock_guard lk(pools_mu_);
   for (const Pool& pool : pools_) {
     for (const PrecomputedSendSlot& slot : pool.slots) {
       for (const Bytes& pad : slot.pads) {
@@ -631,23 +674,34 @@ bool BatchedOtSender::pool_wiped() const {
   return true;
 }
 
-std::size_t BatchedOtSender::remaining() const {
+std::size_t BatchedOtSender::available_slots() const {
+  if (silent_) return silent_->ledger_available_total();
+  std::lock_guard lk(pools_mu_);
   std::size_t total = 0;
   for (const Pool& pool : pools_) total += pool.slots.size() - pool.next;
   return total;
 }
 
-std::size_t BatchedOtSender::remaining(std::size_t arity) const {
+std::size_t BatchedOtSender::available_slots(std::size_t arity) const {
+  if (silent_) return silent_->ledger_available(arity);
+  std::lock_guard lk(pools_mu_);
   for (const Pool& pool : pools_) {
     if (pool.arity == arity) return pool.slots.size() - pool.next;
   }
   return 0;
 }
 
+std::size_t BatchedOtSender::remaining() const { return available_slots(); }
+
+std::size_t BatchedOtSender::remaining(std::size_t arity) const {
+  return available_slots(arity);
+}
+
 BatchedOtSender::Pool& BatchedOtSender::pool_for(std::size_t arity) {
   for (Pool& pool : pools_) {
     if (pool.arity == arity) return pool;
   }
+  std::lock_guard lk(pools_mu_);
   pools_.push_back(Pool{arity, {}, 0});
   return pools_.back();
 }
@@ -659,16 +713,24 @@ void BatchedOtSender::reserve(net::Endpoint& channel, std::size_t slots) {
 void BatchedOtSender::reserve(net::Endpoint& channel, std::size_t arity,
                               std::size_t count) {
   if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
+  if (silent_) {
+    // Non-blocking fast path: stage_to is ledger bookkeeping plus at most
+    // one correction-block recv; all expansion stays off this thread.
+    silent_->ensure_ready(channel);
+    silent_->stage_to(channel, arity, count);
+    return;
+  }
   Pool& pool = pool_for(arity);
   const std::size_t have = pool.slots.size() - pool.next;
   if (have >= count) return;
   const std::size_t top_up = count - have;
+  auto fresh = precompute_ot_sender(channel, base_, top_up, 32, rng_, arity);
+  std::lock_guard lk(pools_mu_);
   // Compact the consumed prefix (its pads are spent key material).
   for (std::size_t i = 0; i < pool.next; ++i) wipe_send_slot(pool.slots[i]);
   pool.slots.erase(pool.slots.begin(),
                    pool.slots.begin() + static_cast<std::ptrdiff_t>(pool.next));
   pool.next = 0;
-  auto fresh = precompute_ot_sender(channel, base_, top_up, 32, rng_, arity);
   pool.slots.insert(pool.slots.end(), std::make_move_iterator(fresh.begin()),
                     std::make_move_iterator(fresh.end()));
 }
@@ -683,6 +745,36 @@ void BatchedOtSender::send(net::Endpoint& channel,
     for (std::size_t i = 0; i < k; ++i) channel.send(messages.front());
     return;
   }
+  if (silent_) {
+    silent_->ensure_ready(channel);
+    // Auto-staging keyed on the shared ledger and PROTOCOL constants (never
+    // refill_batch or pool levels), so both sides stage identically and
+    // the transcript is independent of background-refill timing.
+    if (n <= kMaxDirectArity) {
+      if (silent_->ledger_available(n) < k + kSilentLeadSlots) {
+        silent_->stage_to(channel, n, k + kSilentLeadSlots);
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        PrecomputedSendSlot slot = silent_->take(n);
+        precomputed_send_1ofn(channel, slot, messages);
+        wipe_send_slot(slot);
+      }
+      return;
+    }
+    const std::size_t needed = k * index_bits(n);
+    if (silent_->ledger_available(2) < needed + kSilentLeadSlots) {
+      silent_->stage_to(channel, 2, needed + kSilentLeadSlots);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      send_1ofn_impl(channel, messages, rng_,
+                     [&](const Bytes& k0, const Bytes& k1) {
+                       PrecomputedSendSlot slot = silent_->take(2);
+                       precomputed_send_1of2(channel, slot, k0, k1);
+                       wipe_send_slot(slot);
+                     });
+    }
+    return;
+  }
   // Symmetric auto-refill: both parties derive the same need from the
   // transfer shape and the same pool level from identical consumption.
   if (n <= kMaxDirectArity) {
@@ -691,7 +783,8 @@ void BatchedOtSender::send(net::Endpoint& channel,
     if (remaining(n) < k) reserve(channel, n, std::max(k, refill_batch_));
     Pool& pool = pool_for(n);
     for (std::size_t i = 0; i < k; ++i) {
-      precomputed_send_1ofn(channel, pool.slots[pool.next++], messages);
+      const std::size_t at = take_index(pools_mu_, pool);
+      precomputed_send_1ofn(channel, pool.slots[at], messages);
     }
     return;
   }
@@ -703,8 +796,8 @@ void BatchedOtSender::send(net::Endpoint& channel,
   for (std::size_t i = 0; i < k; ++i) {
     send_1ofn_impl(channel, messages, rng_,
                    [&](const Bytes& k0, const Bytes& k1) {
-                     precomputed_send_1of2(channel, pool.slots[pool.next++],
-                                           k0, k1);
+                     const std::size_t at = take_index(pools_mu_, pool);
+                     precomputed_send_1of2(channel, pool.slots[at], k0, k1);
                    });
   }
 }
@@ -721,17 +814,47 @@ BatchedOtReceiver::~BatchedOtReceiver() {
   }
 }
 
+void BatchedOtReceiver::enable_silent(std::size_t low_water) {
+  detail::require(!aborted_, "ot: aborted engine cannot be resumed");
+  detail::require(pools_.empty(), "ot: enable_silent before any reserve");
+  low_water_ = low_water;
+  silent_ = std::make_unique<SilentPadReceiver>(base_.group(), rng_, low_water);
+}
+
+void BatchedOtReceiver::attach_reservoir(PadReservoir& reservoir) {
+  if (silent_) silent_->attach_reservoir(&reservoir);
+}
+
+void BatchedOtReceiver::detach_reservoir() noexcept {
+  if (silent_) silent_->detach_reservoir();
+}
+
 void BatchedOtReceiver::abort() noexcept {
-  for (Pool& pool : pools_) {
-    for (PrecomputedRecvSlot& slot : pool.slots) wipe_recv_slot(slot);
-    pool.next = pool.slots.size();
+  const bool silent = silent_ != nullptr;
+  if (silent) silent_->abort();
+  {
+    std::lock_guard lk(pools_mu_);
+    for (Pool& pool : pools_) {
+      for (PrecomputedRecvSlot& slot : pool.slots) wipe_recv_slot(slot);
+      pool.next = pool.slots.size();
+    }
   }
   aborted_ = true;
   ot_abort_audit().aborts.fetch_add(1);
   if (pool_wiped()) ot_abort_audit().wiped.fetch_add(1);
+  if (silent) {
+    if (silent_->frontier_clean()) {
+      ot_abort_audit().frontier_wipes.fetch_add(1);
+    }
+    if (silent_->pads_clean()) {
+      ot_abort_audit().reservoir_wipes.fetch_add(1);
+    }
+  }
 }
 
 bool BatchedOtReceiver::pool_wiped() const {
+  if (silent_ && !silent_->pads_clean()) return false;
+  std::lock_guard lk(pools_mu_);
   for (const Pool& pool : pools_) {
     for (const PrecomputedRecvSlot& slot : pool.slots) {
       for (std::uint8_t b : slot.pad) {
@@ -744,23 +867,34 @@ bool BatchedOtReceiver::pool_wiped() const {
   return true;
 }
 
-std::size_t BatchedOtReceiver::remaining() const {
+std::size_t BatchedOtReceiver::available_slots() const {
+  if (silent_) return silent_->ledger_available_total();
+  std::lock_guard lk(pools_mu_);
   std::size_t total = 0;
   for (const Pool& pool : pools_) total += pool.slots.size() - pool.next;
   return total;
 }
 
-std::size_t BatchedOtReceiver::remaining(std::size_t arity) const {
+std::size_t BatchedOtReceiver::available_slots(std::size_t arity) const {
+  if (silent_) return silent_->ledger_available(arity);
+  std::lock_guard lk(pools_mu_);
   for (const Pool& pool : pools_) {
     if (pool.arity == arity) return pool.slots.size() - pool.next;
   }
   return 0;
 }
 
+std::size_t BatchedOtReceiver::remaining() const { return available_slots(); }
+
+std::size_t BatchedOtReceiver::remaining(std::size_t arity) const {
+  return available_slots(arity);
+}
+
 BatchedOtReceiver::Pool& BatchedOtReceiver::pool_for(std::size_t arity) {
   for (Pool& pool : pools_) {
     if (pool.arity == arity) return pool;
   }
+  std::lock_guard lk(pools_mu_);
   pools_.push_back(Pool{arity, {}, 0});
   return pools_.back();
 }
@@ -772,15 +906,21 @@ void BatchedOtReceiver::reserve(net::Endpoint& channel, std::size_t slots) {
 void BatchedOtReceiver::reserve(net::Endpoint& channel, std::size_t arity,
                                 std::size_t count) {
   if (aborted_) throw ProtocolError("ot: aborted engine cannot be resumed");
+  if (silent_) {
+    silent_->ensure_ready(channel);
+    silent_->stage_to(channel, arity, count);
+    return;
+  }
   Pool& pool = pool_for(arity);
   const std::size_t have = pool.slots.size() - pool.next;
   if (have >= count) return;
   const std::size_t top_up = count - have;
+  auto fresh = precompute_ot_receiver(channel, base_, top_up, 32, rng_, arity);
+  std::lock_guard lk(pools_mu_);
   for (std::size_t i = 0; i < pool.next; ++i) wipe_recv_slot(pool.slots[i]);
   pool.slots.erase(pool.slots.begin(),
                    pool.slots.begin() + static_cast<std::ptrdiff_t>(pool.next));
   pool.next = 0;
-  auto fresh = precompute_ot_receiver(channel, base_, top_up, 32, rng_, arity);
   pool.slots.insert(pool.slots.end(), std::make_move_iterator(fresh.begin()),
                     std::make_move_iterator(fresh.end()));
 }
@@ -801,14 +941,44 @@ std::vector<Bytes> BatchedOtReceiver::receive(
     }
     return out;
   }
+  if (silent_) {
+    silent_->ensure_ready(channel);
+    if (n <= kMaxDirectArity) {
+      if (silent_->ledger_available(n) < indices.size() + kSilentLeadSlots) {
+        silent_->stage_to(channel, n, indices.size() + kSilentLeadSlots);
+      }
+      for (std::size_t index : indices) {
+        PrecomputedRecvSlot slot = silent_->take(n);
+        out.push_back(
+            precomputed_receive_1ofn(channel, slot, index, message_len));
+        wipe_recv_slot(slot);
+      }
+      return out;
+    }
+    const std::size_t needed = indices.size() * index_bits(n);
+    if (silent_->ledger_available(2) < needed + kSilentLeadSlots) {
+      silent_->stage_to(channel, 2, needed + kSilentLeadSlots);
+    }
+    for (std::size_t index : indices) {
+      out.push_back(
+          receive_1ofn_impl(channel, index, n, message_len, [&](bool choice) {
+            PrecomputedRecvSlot slot = silent_->take(2);
+            Bytes key = precomputed_receive_1of2(channel, slot, choice);
+            wipe_recv_slot(slot);
+            return key;
+          }));
+    }
+    return out;
+  }
   if (n <= kMaxDirectArity) {
     if (remaining(n) < indices.size()) {
       reserve(channel, n, std::max(indices.size(), refill_batch_));
     }
     Pool& pool = pool_for(n);
     for (std::size_t index : indices) {
-      out.push_back(precomputed_receive_1ofn(channel, pool.slots[pool.next++],
-                                             index, message_len));
+      const std::size_t at = take_index(pools_mu_, pool);
+      out.push_back(precomputed_receive_1ofn(channel, pool.slots[at], index,
+                                             message_len));
     }
     return out;
   }
@@ -820,8 +990,8 @@ std::vector<Bytes> BatchedOtReceiver::receive(
   for (std::size_t index : indices) {
     out.push_back(
         receive_1ofn_impl(channel, index, n, message_len, [&](bool choice) {
-          return precomputed_receive_1of2(channel, pool.slots[pool.next++],
-                                          choice);
+          const std::size_t at = take_index(pools_mu_, pool);
+          return precomputed_receive_1of2(channel, pool.slots[at], choice);
         }));
   }
   return out;

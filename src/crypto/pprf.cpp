@@ -1,0 +1,174 @@
+#include "ppds/crypto/pprf.hpp"
+
+#include <cstring>
+
+#include "ppds/common/ct.hpp"
+#include "ppds/common/error.hpp"
+#include "ppds/crypto/prg.hpp"
+
+namespace ppds::crypto {
+
+void ggm_children(const Digest& seed, Digest& left, Digest& right) {
+  Prg prg(seed);
+  PPDS_SECRET Bytes both = prg.next(2 * sizeof(Digest));
+  std::memcpy(left.data(), both.data(), sizeof(Digest));
+  std::memcpy(right.data(), both.data() + sizeof(Digest), sizeof(Digest));
+  secure_wipe(std::span(both));
+}
+
+GgmTree::GgmTree(const Digest& root, unsigned depth)
+    : root_(root), depth_(depth), wiped_(false) {
+  detail::require(depth <= 63, "ggm: depth must be <= 63");
+}
+
+GgmTree::~GgmTree() { secure_wipe(std::span(root_)); }
+
+Digest GgmTree::leaf(std::uint64_t index) const {
+  detail::require(!wiped_, "ggm: tree wiped");
+  detail::require(index < leaves(), "ggm: leaf index out of range");
+  PPDS_SECRET Digest node = root_;
+  PPDS_SECRET Digest left;
+  PPDS_SECRET Digest right;
+  for (unsigned level = 0; level < depth_; ++level) {
+    ggm_children(node, left, right);
+    // The path bit is a PUBLIC leaf index bit, not key material.
+    const bool go_right = ((index >> (depth_ - 1 - level)) & 1) != 0;
+    node = go_right ? right : left;
+  }
+  secure_wipe(std::span(left));
+  secure_wipe(std::span(right));
+  return node;
+}
+
+namespace {
+
+/// Depth-first frontier descent: recursion depth == tree depth, so the live
+/// state is the O(depth) chain of seeds on the call stack (plus one sibling
+/// per level), never a whole level.
+void expand_node(const Digest& seed, unsigned node_depth, unsigned tree_depth,
+                 std::uint64_t node_first, std::uint64_t first,
+                 std::uint64_t last,
+                 const std::function<void(std::uint64_t, const Digest&)>& sink) {
+  const std::uint64_t node_count = std::uint64_t{1}
+                                   << (tree_depth - node_depth);
+  if (node_first >= last || node_first + node_count <= first) return;
+  if (node_depth == tree_depth) {
+    sink(node_first, seed);
+    return;
+  }
+  PPDS_SECRET Digest left;
+  PPDS_SECRET Digest right;
+  ggm_children(seed, left, right);
+  expand_node(left, node_depth + 1, tree_depth, node_first, first, last, sink);
+  expand_node(right, node_depth + 1, tree_depth, node_first + node_count / 2,
+              first, last, sink);
+  secure_wipe(std::span(left));
+  secure_wipe(std::span(right));
+}
+
+}  // namespace
+
+void GgmTree::expand_range(
+    std::uint64_t first, std::uint64_t last,
+    const std::function<void(std::uint64_t, const Digest&)>& sink) const {
+  detail::require(!wiped_, "ggm: tree wiped");
+  detail::require(first <= last && last <= leaves(),
+                  "ggm: expand range out of bounds");
+  if (first == last) return;
+  expand_node(root_, 0, depth_, 0, first, last, sink);
+}
+
+std::vector<Digest> GgmTree::expand_all_naive() const {
+  detail::require(!wiped_, "ggm: tree wiped");
+  detail::require(depth_ <= 24, "ggm: naive expansion capped at depth 24");
+  std::vector<Digest> level{root_};
+  for (unsigned d = 0; d < depth_; ++d) {
+    std::vector<Digest> next(level.size() * 2);
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      ggm_children(level[i], next[2 * i], next[2 * i + 1]);
+    }
+    for (Digest& seed : level) secure_wipe(std::span(seed));
+    level = std::move(next);
+  }
+  return level;
+}
+
+void GgmTree::wipe() noexcept {
+  secure_wipe(std::span(root_));
+  wiped_ = true;
+}
+
+Digest PuncturedKey::leaf(std::uint64_t i) const {
+  detail::require(depth <= 63 && i < (std::uint64_t{1} << depth),
+                  "punctured ggm: leaf index out of range");
+  detail::require(i != index, "punctured ggm: punctured point requested");
+  detail::require(copath.size() == depth, "punctured ggm: malformed key");
+  // Walk down from the highest level where i's path diverges from the
+  // punctured path; the co-path seed at that level roots i's subtree.
+  for (unsigned level = 0; level < depth; ++level) {
+    const unsigned shift = depth - 1 - level;
+    const std::uint64_t i_bit = (i >> shift) & 1;
+    const std::uint64_t p_bit = (index >> shift) & 1;
+    if (i_bit == p_bit) continue;
+    // copath[level] covers leaves that share i's prefix through this level;
+    // descend the remaining shift bits of i inside that subtree.
+    PPDS_SECRET Digest node = copath[level];
+    PPDS_SECRET Digest left;
+    PPDS_SECRET Digest right;
+    for (unsigned l2 = level + 1; l2 < depth; ++l2) {
+      ggm_children(node, left, right);
+      const bool go_right = ((i >> (depth - 1 - l2)) & 1) != 0;
+      node = go_right ? right : left;
+    }
+    secure_wipe(std::span(left));
+    secure_wipe(std::span(right));
+    return node;
+  }
+  throw ProtocolError("punctured ggm: unreachable");
+}
+
+std::vector<Digest> PuncturedKey::expand_all() const {
+  const std::uint64_t n = std::uint64_t{1} << depth;
+  std::vector<Digest> out(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (i == index) continue;  // stays zeroed: the punctured point
+    out[i] = leaf(i);
+  }
+  return out;
+}
+
+void PuncturedKey::wipe() noexcept {
+  for (Digest& seed : copath) secure_wipe(std::span(seed));
+  copath.clear();
+}
+
+std::vector<Digest> GgmTree::expand_copath(std::uint64_t index) const {
+  detail::require(!wiped_, "ggm: tree wiped");
+  detail::require(index < leaves(), "ggm: copath index out of range");
+  std::vector<Digest> copath;
+  copath.reserve(depth_);
+  PPDS_SECRET Digest node = root_;
+  PPDS_SECRET Digest left;
+  PPDS_SECRET Digest right;
+  for (unsigned level = 0; level < depth_; ++level) {
+    ggm_children(node, left, right);
+    // The path bit is a public leaf-index bit.
+    const bool go_right = ((index >> (depth_ - 1 - level)) & 1) != 0;
+    copath.push_back(go_right ? left : right);
+    node = go_right ? right : left;
+  }
+  secure_wipe(std::span(node));
+  secure_wipe(std::span(left));
+  secure_wipe(std::span(right));
+  return copath;
+}
+
+PuncturedKey puncture(const GgmTree& tree, std::uint64_t index) {
+  PuncturedKey key;
+  key.index = index;
+  key.depth = tree.depth();
+  key.copath = tree.expand_copath(index);
+  return key;
+}
+
+}  // namespace ppds::crypto

@@ -1,0 +1,95 @@
+#include "ppds/crypto/reservoir.hpp"
+
+#include <algorithm>
+
+namespace ppds::crypto {
+
+PadReservoir::PadReservoir(std::size_t workers) {
+  const std::size_t count = workers == 0 ? 1 : workers;
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PadReservoir::~PadReservoir() { stop(); }
+
+void PadReservoir::attach(RefillTarget& target) {
+  {
+    std::lock_guard lk(mu_);
+    if (std::find(targets_.begin(), targets_.end(), &target) ==
+        targets_.end()) {
+      targets_.push_back(&target);
+    }
+  }
+  cv_.notify_all();
+}
+
+void PadReservoir::detach(RefillTarget& target) noexcept {
+  std::unique_lock lk(mu_);
+  targets_.erase(std::remove(targets_.begin(), targets_.end(), &target),
+                 targets_.end());
+  // A worker may be mid-step inside the departing target with no locks
+  // held; the caller is about to destroy it, so wait them out.
+  idle_cv_.wait(lk, [&] {
+    return std::find(active_.begin(), active_.end(), &target) == active_.end();
+  });
+}
+
+void PadReservoir::kick() {
+  { std::lock_guard lk(mu_); }
+  cv_.notify_all();
+}
+
+void PadReservoir::stop() noexcept {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::size_t PadReservoir::attached() const {
+  std::lock_guard lk(mu_);
+  return targets_.size();
+}
+
+std::uint64_t PadReservoir::steps() const {
+  std::lock_guard lk(mu_);
+  return steps_;
+}
+
+void PadReservoir::worker_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    // Round-robin scan for an engine with pending expansion work.
+    // needs_refill() briefly takes the target's own lock — the global order
+    // is reservoir mutex first, target mutex second.
+    RefillTarget* target = nullptr;
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      const std::size_t idx = (cursor_ + i) % targets_.size();
+      if (targets_[idx]->needs_refill()) {
+        target = targets_[idx];
+        cursor_ = idx + 1;
+        break;
+      }
+    }
+    if (target != nullptr) {
+      active_.push_back(target);
+      lk.unlock();
+      (void)target->refill_step();
+      lk.lock();
+      active_.erase(std::find(active_.begin(), active_.end(), target));
+      ++steps_;
+      idle_cv_.notify_all();
+      continue;
+    }
+    if (stopping_) return;
+    cv_.wait(lk);
+  }
+}
+
+}  // namespace ppds::crypto

@@ -23,11 +23,12 @@ void reset_for_next_session(net::Endpoint& channel) {
 
 std::vector<int> client_classify(
     net::Endpoint& channel, const Scenario& scenario,
-    const std::vector<std::vector<double>>& samples, Rng& rng) {
+    const std::vector<std::vector<double>>& samples, Rng& rng,
+    core::OtBundle* ot) {
   select_service(channel, Service::kClassification);
   const core::ClassificationClient client(scenario.profile, scenario.config);
   std::vector<int> labels = core::classify_session(
-      client, scenario.profile, scenario.config, channel, samples, rng);
+      client, scenario.profile, scenario.config, channel, samples, rng, ot);
   reset_for_next_session(channel);
   return labels;
 }

@@ -40,6 +40,12 @@ Daemon::~Daemon() { stop(); }
 void Daemon::start() {
   if (started_) return;
   started_ = true;
+  if (scenario_.config.reservoir) {
+    // One shared refill worker serves every connection's silent engines:
+    // refill steps are chunky (a PPRF block expansion each), so a single
+    // thread keeps many parked connections' pools at their low-water marks.
+    reservoir_ = std::make_unique<crypto::PadReservoir>(1);
+  }
   if (::pipe(poller_wake_fds_) != 0) {
     throw ProtocolError("daemon: self-pipe creation failed: " +
                         std::string(std::strerror(errno)));
@@ -72,8 +78,12 @@ void Daemon::stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     parked_.clear();  // unique_ptr teardown closes the sockets
-    ready_.clear();
+    ready_.clear();   // (and their OtBundles detach from the reservoir)
   }
+  // SIGTERM drain order: the refill thread joins AFTER the session workers
+  // (none of them can be mid-refill-handoff any more) and after every
+  // connection's OtBundle has detached.
+  if (reservoir_) reservoir_->stop();
   ::close(poller_wake_fds_[0]);
   ::close(poller_wake_fds_[1]);
   poller_wake_fds_[0] = poller_wake_fds_[1] = -1;
@@ -218,9 +228,19 @@ bool Daemon::run_one_session(Connection& conn) {
     in_session = true;
     switch (service) {
       case Service::kClassification:
+        // Silent scenarios keep one OtBundle per CONNECTION: the base-OT
+        // seed agreement runs once on the first session and later sessions
+        // reuse the expanded PPRF ledger (pre-filled by the reservoir while
+        // the connection was parked). Non-silent scenarios pass nullptr and
+        // keep the historical per-session bundle path.
+        if (scenario_.config.silent_precompute && conn.ot == nullptr) {
+          conn.ot =
+              std::make_unique<core::OtBundle>(scenario_.config, conn.rng);
+          if (reservoir_) conn.ot->attach_reservoir(*reservoir_);
+        }
         core::serve_session(classification_, scenario_.profile,
                             scenario_.config, channel, conn.rng,
-                            options_.max_queries);
+                            options_.max_queries, conn.ot.get());
         break;
       case Service::kSimilarity:
         core::serve_similarity_session(similarity_, scenario_.profile.kernel,

@@ -43,8 +43,24 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       spec.preset = Preset::kFast;
     } else if (t == "precomputed") {
       spec.preset = Preset::kPrecomputed;
+    } else if (t == "silent") {
+      spec.preset = Preset::kSilent;
     } else if (t == "secure") {
       spec.preset = Preset::kSecure;
+    } else if (t == "reservoir") {
+      spec.reservoir = true;
+    } else if (t.rfind("refill=", 0) == 0) {
+      const std::string value = t.substr(7);
+      std::size_t parsed = 0;
+      try {
+        parsed = static_cast<std::size_t>(std::stoull(value));
+      } catch (const std::exception&) {
+        throw InvalidArgument("scenario: bad refill batch '" + t + "'");
+      }
+      if (parsed == 0) {
+        throw InvalidArgument("scenario: refill batch must be >= 1");
+      }
+      spec.refill_batch = parsed;
     } else {
       throw InvalidArgument("scenario: unknown token '" + t + "' in '" +
                             text + "'");
@@ -59,8 +75,11 @@ std::string ScenarioSpec::to_string() const {
   switch (preset) {
     case Preset::kFast: out += ":fast"; break;
     case Preset::kPrecomputed: out += ":precomputed"; break;
+    case Preset::kSilent: out += ":silent"; break;
     case Preset::kSecure: out += ":secure"; break;
   }
+  if (reservoir) out += ":reservoir";
+  if (refill_batch != 0) out += ":refill=" + std::to_string(refill_batch);
   return out;
 }
 
@@ -98,10 +117,19 @@ Scenario Scenario::make(const ScenarioSpec& spec, std::uint64_t seed) {
       s.config = core::SchemeConfig::fast_simulation();
       s.config.ot_engine = core::OtEngine::kPrecomputed;
       break;
+    case ScenarioSpec::Preset::kSilent:
+      s.config = core::SchemeConfig::silent();
+      break;
     case ScenarioSpec::Preset::kSecure:
       s.config = core::SchemeConfig::secure_default();
       break;
   }
+  // Local-only tuning knobs: both are excluded from the protocol digest, so
+  // the two parties may disagree (asymmetric refill_batch only matters for
+  // the non-silent precomputed engine, whose reserve() fails closed on a
+  // size mismatch).
+  s.config.reservoir = spec.reservoir;
+  if (spec.refill_batch != 0) s.config.refill_batch = spec.refill_batch;
   s.space = core::DataSpace{};
 
   s.queries.reserve(test.x.size());

@@ -40,7 +40,32 @@ TEST(ProtocolDigest, IgnoresLocalPerformanceKnobs) {
   tuned.ompe.eval_threads = 1;
   tuned.ompe.use_eval_dag = false;
   tuned.fixed_base_tables = false;
+  // The silent-OT tuning knobs are local too: the reservoir and its batch
+  // sizes never change wire bytes (staging is sized by protocol constants).
+  tuned.reservoir = true;
+  tuned.refill_batch = 7;
+  tuned.ot_low_water = 3;
   EXPECT_EQ(protocol_digest(profile, cfg), protocol_digest(profile, tuned));
+}
+
+TEST(ProtocolDigest, SilentPrecomputeIsHashed) {
+  // silent_precompute CHANGES the offline wire format (seed agreement +
+  // correction blocks instead of DH batches), so parties must agree on it.
+  const auto profile = ClassificationProfile::make(2, svm::Kernel::linear());
+  auto cfg = SchemeConfig::fast_simulation();
+  cfg.ot_engine = OtEngine::kPrecomputed;
+  auto silent = cfg;
+  silent.silent_precompute = true;
+  EXPECT_NE(protocol_digest(profile, cfg), protocol_digest(profile, silent));
+
+  const auto space = DataSpace{};
+  EXPECT_NE(similarity_digest(svm::Kernel::linear(), space, cfg),
+            similarity_digest(svm::Kernel::linear(), space, silent));
+  auto tuned = silent;
+  tuned.reservoir = true;
+  tuned.refill_batch = 9;
+  EXPECT_EQ(similarity_digest(svm::Kernel::linear(), space, silent),
+            similarity_digest(svm::Kernel::linear(), space, tuned));
 }
 
 TEST(Session, AgreedParametersClassifyEndToEnd) {

@@ -1,0 +1,151 @@
+#include "ppds/crypto/pprf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppds/common/error.hpp"
+
+namespace ppds::crypto {
+namespace {
+
+Digest test_root(std::uint8_t fill) {
+  Digest root{};
+  for (std::size_t i = 0; i < root.size(); ++i) {
+    root[i] = static_cast<std::uint8_t>(fill + i * 17);
+  }
+  return root;
+}
+
+bool all_zero(const Digest& d) {
+  for (std::uint8_t b : d) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+TEST(GgmChildren, DeterministicAndDistinct) {
+  const Digest seed = test_root(3);
+  Digest l1, r1, l2, r2;
+  ggm_children(seed, l1, r1);
+  ggm_children(seed, l2, r2);
+  EXPECT_EQ(l1, l2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(l1, r1);  // the two keystream halves must not collide
+  EXPECT_NE(l1, seed);
+}
+
+// The tentpole invariant: the O(depth)-state frontier walk and the random-
+// access path derivation are bit-identical to the naive full-tree oracle at
+// EVERY depth.
+TEST(GgmTree, FrontierMatchesNaiveAtEveryDepth) {
+  for (unsigned depth = 0; depth <= 8; ++depth) {
+    const GgmTree tree(test_root(static_cast<std::uint8_t>(depth)), depth);
+    const std::vector<Digest> naive = tree.expand_all_naive();
+    ASSERT_EQ(naive.size(), tree.leaves());
+
+    std::vector<Digest> walked(naive.size());
+    std::vector<bool> seen(naive.size(), false);
+    std::uint64_t expect_next = 0;
+    tree.expand_range(0, tree.leaves(),
+                      [&](std::uint64_t index, const Digest& leaf) {
+                        ASSERT_LT(index, naive.size());
+                        EXPECT_EQ(index, expect_next++);  // in-order emission
+                        walked[index] = leaf;
+                        seen[index] = true;
+                      });
+    for (std::uint64_t i = 0; i < tree.leaves(); ++i) {
+      ASSERT_TRUE(seen[i]) << "depth=" << depth << " leaf=" << i;
+      EXPECT_EQ(walked[i], naive[i]) << "depth=" << depth << " leaf=" << i;
+      EXPECT_EQ(tree.leaf(i), naive[i]) << "depth=" << depth << " leaf=" << i;
+    }
+  }
+}
+
+TEST(GgmTree, RangeWalkWindows) {
+  const GgmTree tree(test_root(11), 6);
+  const std::vector<Digest> naive = tree.expand_all_naive();
+  const std::pair<std::uint64_t, std::uint64_t> windows[] = {
+      {0, 1}, {63, 64}, {5, 37}, {17, 17}, {0, 64}};
+  for (const auto& [first, last] : windows) {
+    std::uint64_t count = 0;
+    std::uint64_t expect = first;
+    tree.expand_range(first, last,
+                      [&](std::uint64_t index, const Digest& leaf) {
+                        EXPECT_EQ(index, expect++);
+                        EXPECT_EQ(leaf, naive[index]);
+                        ++count;
+                      });
+    EXPECT_EQ(count, last - first);
+  }
+  EXPECT_THROW(tree.expand_range(0, 65, [](std::uint64_t, const Digest&) {}),
+               InvalidArgument);
+  EXPECT_THROW(tree.expand_range(9, 3, [](std::uint64_t, const Digest&) {}),
+               InvalidArgument);
+}
+
+TEST(PuncturedGgm, EveryLeafExceptThePuncturedPoint) {
+  const unsigned depth = 5;
+  const GgmTree tree(test_root(42), depth);
+  const std::vector<Digest> naive = tree.expand_all_naive();
+  for (const std::uint64_t punct : {std::uint64_t{0}, std::uint64_t{13},
+                                    std::uint64_t{31}}) {
+    const PuncturedKey key = puncture(tree, punct);
+    EXPECT_EQ(key.index, punct);
+    EXPECT_EQ(key.depth, depth);
+    EXPECT_EQ(key.copath.size(), depth);
+    for (std::uint64_t i = 0; i < tree.leaves(); ++i) {
+      if (i == punct) continue;
+      EXPECT_EQ(key.leaf(i), naive[i]) << "punct=" << punct << " i=" << i;
+    }
+    // The punctured point is absent from the key, not merely forbidden:
+    // leaf() throws and the bulk expansion leaves the slot zeroed.
+    EXPECT_THROW(key.leaf(punct), InvalidArgument);
+    const std::vector<Digest> all = key.expand_all();
+    ASSERT_EQ(all.size(), tree.leaves());
+    EXPECT_TRUE(all_zero(all[punct]));
+    for (std::uint64_t i = 0; i < tree.leaves(); ++i) {
+      if (i != punct) {
+        EXPECT_EQ(all[i], naive[i]);
+      }
+    }
+  }
+}
+
+TEST(PuncturedGgm, DepthZeroKeyKnowsNothing) {
+  const GgmTree tree(test_root(7), 0);
+  const PuncturedKey key = puncture(tree, 0);
+  EXPECT_TRUE(key.copath.empty());
+  EXPECT_THROW(key.leaf(0), InvalidArgument);
+  const std::vector<Digest> all = key.expand_all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all_zero(all[0]));  // the sole leaf is the punctured one
+}
+
+TEST(PuncturedGgm, WipeClearsCopath) {
+  const GgmTree tree(test_root(9), 4);
+  PuncturedKey key = puncture(tree, 6);
+  key.wipe();
+  EXPECT_TRUE(key.copath.empty());
+}
+
+TEST(GgmTree, WipeSemantics) {
+  GgmTree tree(test_root(1), 3);
+  EXPECT_FALSE(tree.wiped());
+  (void)tree.leaf(0);
+  tree.wipe();
+  EXPECT_TRUE(tree.wiped());
+  EXPECT_THROW(tree.leaf(0), InvalidArgument);
+  EXPECT_THROW(tree.expand_all_naive(), InvalidArgument);
+  EXPECT_THROW(tree.expand_range(0, 1, [](std::uint64_t, const Digest&) {}),
+               InvalidArgument);
+  EXPECT_THROW(tree.expand_copath(0), InvalidArgument);
+
+  const GgmTree fresh;  // default-constructed: no key material to leak
+  EXPECT_TRUE(fresh.wiped());
+}
+
+TEST(GgmTree, DepthBound) {
+  EXPECT_THROW(GgmTree(test_root(2), 64), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppds::crypto

@@ -8,6 +8,8 @@
 
 #include "ppds/core/session_pool.hpp"
 #include "ppds/crypto/ot.hpp"
+#include "ppds/crypto/reservoir.hpp"
+#include "ppds/crypto/silent_ot.hpp"
 #include "ppds/net/fault.hpp"
 
 /// \file chaos_test.cpp
@@ -344,6 +346,114 @@ TEST(Chaos, PrecomputedEngineAbortsWipeOtPools) {
   EXPECT_TRUE(sender.pool_wiped());
   EXPECT_TRUE(receiver.pool_wiped());
   EXPECT_THROW(sender.send(end_a, msgs, 1), ProtocolError);
+}
+
+TEST(Chaos, SilentEngineSurvivesShortFaultSweep) {
+  // The silent PPRF offline phase through the full session layer under
+  // faults: aborted sessions must retry on FRESH engines (a half-consumed
+  // correction ledger is never resumed) and still match the baseline.
+  ClassFixture fx = ClassFixture::make(2, 1, svm::Kernel::linear(), 2029);
+  SchemeConfig cfg = SchemeConfig::silent();
+  cfg.ompe.q = 2;
+  cfg.ompe.k = 2;
+  const ClassificationServer server(fx.model, fx.profile, cfg);
+  const ClassificationClient client(fx.profile, cfg);
+  SessionPool pool(server, client, fx.profile, cfg, 2);
+  const std::vector<int> baseline = pool.classify_batch(fx.samples, 17, 1);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    try {
+      EXPECT_EQ(pool.classify_batch(fx.samples, 17, 1, chaos_transport(seed)),
+                baseline);
+    } catch (const ProtocolError&) {
+    }
+  }
+}
+
+TEST(Chaos, SilentAbortsWipeWithRefillThreadRacing) {
+  // The acceptance sweep for the background-refill service: every seed runs
+  // silent batched engines over faulty channels WITH a live reservoir
+  // thread, and every disconnect-triggered abort must leave the frontier
+  // seeds and unconsumed pads provably zeroed while that thread races the
+  // wipe. ot_abort_audit() proves aborts == wiped == frontier/reservoir
+  // wipes across the whole sweep.
+  const crypto::DhGroup group(crypto::GroupId::kModp1024);
+  const crypto::OtAbortAudit& audit = crypto::ot_abort_audit();
+  const std::uint64_t aborts0 = audit.aborts.load();
+  const std::uint64_t wiped0 = audit.wiped.load();
+  const std::uint64_t frontier0 = audit.frontier_wipes.load();
+  const std::uint64_t reservoir0 = audit.reservoir_wipes.load();
+  crypto::PadReservoir reservoir(2);
+
+  const std::vector<Bytes> msgs{Bytes{1, 2}, Bytes{3, 4}, Bytes{5, 6},
+                                Bytes{7, 8}};
+  std::uint64_t silent_aborts = 0;
+  const std::size_t seeds = chaos_seed_count();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed) +
+                 " (rerun with this seed to reproduce)");
+    auto [clean_a, clean_b] = net::make_channel();
+    net::FaultyEndpoint end_a(std::move(clean_a), chaos_faults(), seed);
+    net::FaultyEndpoint end_b(std::move(clean_b), chaos_faults(),
+                              splitmix64(seed, 1));
+    end_a.set_recv_deadline(net::Deadline::after(std::chrono::seconds(5)));
+    end_b.set_recv_deadline(net::Deadline::after(std::chrono::seconds(5)));
+
+    Rng rng_s(splitmix64(seed, 2)), rng_r(splitmix64(seed, 3));
+    crypto::BatchedOtSender sender(group, rng_s);
+    crypto::BatchedOtReceiver receiver(group, rng_r);
+    sender.enable_silent(4);
+    receiver.enable_silent(4);
+    sender.attach_reservoir(reservoir);
+    receiver.attach_reservoir(reservoir);
+
+    bool sender_aborted = false, receiver_aborted = false;
+    std::thread peer([&] {
+      try {
+        for (int round = 0; round < 3; ++round) {
+          const std::vector<std::size_t> want{static_cast<std::size_t>(round)};
+          (void)receiver.receive(end_b, want, msgs.size(), 2);
+        }
+      } catch (const Error&) {
+        receiver.abort();
+        receiver_aborted = true;
+        try {
+          end_b.close();  // unblock the sender
+        } catch (...) {
+        }
+      }
+    });
+    try {
+      for (int round = 0; round < 3; ++round) sender.send(end_a, msgs, 1);
+    } catch (const Error&) {
+      sender.abort();
+      sender_aborted = true;
+      try {
+        end_a.close();
+      } catch (...) {
+      }
+    }
+    peer.join();
+
+    if (sender_aborted) {
+      ++silent_aborts;
+      EXPECT_TRUE(sender.pool_wiped());
+      EXPECT_TRUE(sender.silent_engine()->frontier_clean());
+      EXPECT_TRUE(sender.silent_engine()->pads_clean());
+    }
+    if (receiver_aborted) {
+      ++silent_aborts;
+      EXPECT_TRUE(receiver.pool_wiped());
+      EXPECT_TRUE(receiver.silent_engine()->frontier_clean());
+      EXPECT_TRUE(receiver.silent_engine()->pads_clean());
+    }
+    // BatchedOt destructors detach from the shared reservoir on their own.
+  }
+  EXPECT_EQ(audit.aborts.load(), aborts0 + silent_aborts);
+  EXPECT_EQ(audit.wiped.load(), wiped0 + silent_aborts);
+  EXPECT_EQ(audit.frontier_wipes.load(), frontier0 + silent_aborts);
+  EXPECT_EQ(audit.reservoir_wipes.load(), reservoir0 + silent_aborts);
 }
 
 TEST(Chaos, SecureEngineSurvivesShortFaultSweep) {

@@ -14,6 +14,7 @@
 #include "ppds/common/bytes.hpp"
 #include "ppds/core/session.hpp"
 #include "ppds/crypto/ot.hpp"
+#include "ppds/crypto/reservoir.hpp"
 #include "ppds/net/socket.hpp"
 #include "ppds/server/client.hpp"
 
@@ -38,6 +39,12 @@ const Scenario& fast_scenario() {
 
 const Scenario& precomputed_scenario() {
   static const Scenario s = Scenario::make("diabetes:linear:precomputed", 2029);
+  return s;
+}
+
+const Scenario& silent_scenario() {
+  static const Scenario s =
+      Scenario::make("diabetes:linear:silent:reservoir", 2029);
   return s;
 }
 
@@ -68,6 +75,27 @@ bool eventually(const Pred& done,
     std::this_thread::sleep_for(10ms);
   }
   return true;
+}
+
+TEST(ScenarioSpec, SilentAndReservoirTokensRoundTrip) {
+  const ScenarioSpec spec =
+      ScenarioSpec::parse("diabetes:poly:silent:reservoir:refill=32");
+  EXPECT_EQ(spec.preset, ScenarioSpec::Preset::kSilent);
+  EXPECT_TRUE(spec.reservoir);
+  EXPECT_EQ(spec.refill_batch, 32u);
+  EXPECT_EQ(spec.to_string(), "diabetes:poly:silent:reservoir:refill=32");
+
+  // The knobs land in the config; silent implies the precomputed engine
+  // with the PPRF offline phase.
+  const Scenario s = Scenario::make(spec, 1);
+  EXPECT_TRUE(s.config.silent_precompute);
+  EXPECT_TRUE(s.config.reservoir);
+  EXPECT_EQ(s.config.refill_batch, 32u);
+  EXPECT_EQ(s.config.ot_engine, core::OtEngine::kPrecomputed);
+
+  EXPECT_THROW(ScenarioSpec::parse("diabetes:refill=0"), InvalidArgument);
+  EXPECT_THROW(ScenarioSpec::parse("diabetes:refill=bogus"), InvalidArgument);
+  EXPECT_THROW(ScenarioSpec::parse("diabetes:resevoir"), InvalidArgument);
 }
 
 TEST(Daemon, ServesClassificationAndSimilarityOverTcpLoopback) {
@@ -276,6 +304,110 @@ TEST(Daemon, DisconnectMidProtocolWipesOtPoolsAndFreesTheWorker) {
   Rng rng(9);
   const std::vector<int> labels = client_classify(
       *channel, scenario, {scenario.queries.front()}, rng);
+  EXPECT_EQ(labels.size(), 1u);
+  client_goodbye(*channel);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().sessions_ok.load(), 1u);
+  EXPECT_EQ(daemon.stats().sessions_failed.load(), 1u);
+}
+
+TEST(Daemon, SilentReservoirKeepAliveReusesTheSeedAgreement) {
+  // Silent scenario with the daemon-level reservoir: one connection runs
+  // several classification sessions; the base-OT seed agreement happens
+  // ONCE per direction on the first session (persistent per-connection
+  // OtBundle on both ends) and the parked gap lets the background refill
+  // thread pre-expand pads for the next session.
+  const Scenario& scenario = silent_scenario();
+  ASSERT_TRUE(scenario.config.silent_precompute);
+  ASSERT_TRUE(scenario.config.reservoir);
+  Daemon daemon(scenario, loopback_options());
+  daemon.start();
+
+  auto channel = connect_to(daemon);
+  Rng rng(21);
+  crypto::PadReservoir reservoir(1);
+  core::OtBundle ot(scenario.config, rng);
+  ot.attach_reservoir(reservoir);
+
+  const std::vector<std::vector<double>> samples(scenario.queries.begin(),
+                                                 scenario.queries.begin() + 2);
+  const std::vector<int> first =
+      client_classify(*channel, scenario, samples, rng, &ot);
+  ASSERT_EQ(first.size(), samples.size());
+  std::this_thread::sleep_for(50ms);  // parked; the refill threads work
+  const std::vector<int> second =
+      client_classify(*channel, scenario, samples, rng, &ot);
+  EXPECT_EQ(second, first);  // sign(d(t~)) is randomness-invariant
+  for (int label : first) EXPECT_TRUE(label == 1 || label == -1);
+  client_goodbye(*channel);
+
+  EXPECT_TRUE(eventually([&] {
+    return daemon.stats().connections_closed.load() >= 1;
+  }));
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().sessions_ok.load(), 2u);
+  EXPECT_EQ(daemon.stats().sessions_failed.load(), 0u);
+}
+
+TEST(Daemon, SilentDisconnectAbortsWipeWithReservoirRunning) {
+  // The silent flavor of the disconnect guarantee: the vanished peer's
+  // unwind must abort the persistent bundle while the DAEMON's shared
+  // refill thread is live, and the audit must prove every abort wiped both
+  // the PPRF frontier seeds and the unconsumed reservoir pads.
+  const Scenario& scenario = silent_scenario();
+  DaemonOptions options = loopback_options();
+  options.workers = 1;
+  Daemon daemon(scenario, options);
+  daemon.start();
+
+  const auto& audit = crypto::ot_abort_audit();
+  const std::uint64_t aborts_before = audit.aborts.load();
+  const std::uint64_t wiped_before = audit.wiped.load();
+  const std::uint64_t frontier_before = audit.frontier_wipes.load();
+  const std::uint64_t reservoir_before = audit.reservoir_wipes.load();
+
+  {
+    auto channel = connect_to(daemon);
+    channel->send(Bytes{
+        static_cast<std::uint8_t>(Service::kClassification)});
+    channel->set_stage(net::Stage::kHandshake);
+    const crypto::Digest digest =
+        core::protocol_digest(scenario.profile, scenario.config);
+    ByteWriter hello;
+    const std::uint8_t magic[4] = {'P', 'P', 'D', 'S'};
+    hello.raw(std::span<const std::uint8_t>(magic, 4));
+    hello.u32(2);  // protocol version
+    hello.raw(std::span<const std::uint8_t>(digest.data(), digest.size()));
+    hello.u64(0x51e7);  // session id
+    hello.u64(4);       // query count
+    channel->send(hello.take());
+    const Bytes ack = channel->recv(net::Deadline::after(10000ms));
+    ASSERT_GE(ack.size(), 1u);
+    ASSERT_EQ(ack[0], 1u) << "handshake denied";
+    channel->close();  // vanish mid-protocol
+  }
+
+  ASSERT_TRUE(eventually([&] {
+    return daemon.stats().sessions_failed.load() >= 1;
+  }));
+  ASSERT_TRUE(eventually([&] { return audit.aborts.load() > aborts_before; }));
+  const std::uint64_t aborts_delta = audit.aborts.load() - aborts_before;
+  EXPECT_GE(aborts_delta, 1u);
+  EXPECT_EQ(audit.wiped.load() - wiped_before, aborts_delta)
+      << "an OT abort left pad material unwiped";
+  // Every aborted engine here is a silent one, so the two silent-specific
+  // wipe proofs must track the abort count exactly.
+  EXPECT_EQ(audit.frontier_wipes.load() - frontier_before, aborts_delta)
+      << "an abort left PPRF frontier seeds unwiped";
+  EXPECT_EQ(audit.reservoir_wipes.load() - reservoir_before, aborts_delta)
+      << "an abort left staged/expanded pads unwiped";
+
+  // The worker and the shared reservoir both survived the abort.
+  auto channel = connect_to(daemon);
+  Rng rng(23);
+  core::OtBundle ot(scenario.config, rng);
+  const std::vector<int> labels = client_classify(
+      *channel, scenario, {scenario.queries.front()}, rng, &ot);
   EXPECT_EQ(labels.size(), 1u);
   client_goodbye(*channel);
   daemon.stop();
