@@ -37,7 +37,13 @@ int usage(const char* argv0) {
       ":silent|:secure][:reservoir][:refill=<n>]]\n"
       "          [--seed N] [--workers N] [--idle-timeout-ms N]\n"
       "          [--recv-timeout-ms N] [--max-queries N]\n"
+      "          [--max-connections N] [--accept-rate N] [--accept-burst N]\n"
+      "          [--max-ready N] [--drain-grace-ms N]\n"
       "          [--reservoir] [--refill-batch N]\n"
+      "--max-connections / --accept-rate bound admission: connections past\n"
+      "the live cap or the accept-per-second token bucket are answered with\n"
+      "a structured busy frame (reason + retry-after) instead of an RST,\n"
+      "and a kHealth probe (ppds-cli health) reports the shed counters.\n"
       "--reservoir / --refill-batch are local tuning knobs (same as the\n"
       ":reservoir / :refill=<n> scenario tokens, digest-excluded): the\n"
       "daemon runs a shared background pad-refill thread so parked silent\n"
@@ -83,6 +89,17 @@ int main(int argc, char** argv) {
           std::strtoll(next(), nullptr, 10));
     } else if (arg == "--max-queries") {
       options.max_queries = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-connections") {
+      options.max_connections = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--accept-rate") {
+      options.accept_rate_per_sec = std::strtod(next(), nullptr);
+    } else if (arg == "--accept-burst") {
+      options.accept_burst = std::strtod(next(), nullptr);
+    } else if (arg == "--max-ready") {
+      options.max_ready = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--drain-grace-ms") {
+      options.drain_grace = std::chrono::milliseconds(
+          std::strtoll(next(), nullptr, 10));
     } else if (arg == "--reservoir") {
       reservoir = true;
     } else if (arg == "--refill-batch") {
@@ -124,16 +141,29 @@ int main(int argc, char** argv) {
     std::printf("ppdsd: draining...\n");
     daemon.stop();
 
-    const server::DaemonStats& s = daemon.stats();
+    const server::DaemonStatsSnapshot s = daemon.stats().snapshot();
     const crypto::OtAbortAudit& audit = crypto::ot_abort_audit();
     std::printf(
-        "ppdsd: %llu connections (%llu clean, %llu reaped), "
+        "ppdsd: %llu connections (%llu clean, %llu reaped, %llu failed), "
         "%llu sessions ok, %llu failed\n",
-        static_cast<unsigned long long>(s.connections_accepted.load()),
-        static_cast<unsigned long long>(s.connections_closed.load()),
-        static_cast<unsigned long long>(s.connections_reaped.load()),
-        static_cast<unsigned long long>(s.sessions_ok.load()),
-        static_cast<unsigned long long>(s.sessions_failed.load()));
+        static_cast<unsigned long long>(s.connections_accepted),
+        static_cast<unsigned long long>(s.connections_closed),
+        static_cast<unsigned long long>(s.connections_reaped),
+        static_cast<unsigned long long>(s.connections_failed),
+        static_cast<unsigned long long>(s.sessions_ok),
+        static_cast<unsigned long long>(s.sessions_failed));
+    std::printf(
+        "ppdsd: shed: %llu rejected (%llu over-cap, %llu rate-limited, "
+        "%llu draining), %llu sessions shed; queue peaks: ready %llu, "
+        "parked %llu; books %s\n",
+        static_cast<unsigned long long>(s.connections_rejected),
+        static_cast<unsigned long long>(s.rejected_over_cap),
+        static_cast<unsigned long long>(s.rejected_rate_limited),
+        static_cast<unsigned long long>(s.rejected_draining),
+        static_cast<unsigned long long>(s.sessions_shed),
+        static_cast<unsigned long long>(s.ready_peak),
+        static_cast<unsigned long long>(s.parked_peak),
+        s.books_balance() ? "balance" : "DO NOT BALANCE");
     std::printf(
         "ppdsd: ot abort audit: %llu aborts, %llu wiped clean "
         "(%llu frontier wipes, %llu reservoir wipes)%s\n",

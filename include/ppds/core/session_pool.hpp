@@ -49,6 +49,21 @@ struct RetryPolicy {
   double jitter = 0.0;
 };
 
+/// Per-attempt RNG seed: attempt 0 uses \p base EXACTLY (a fault-free run
+/// is bit-identical to no retry layer at all, which the determinism tests
+/// pin); attempts n >= 1 derive fresh decorrelated streams — a retried
+/// session re-randomizes everything, because resuming or replaying
+/// half-consumed OT randomness would be a privacy hole, not a retry.
+std::uint64_t retry_attempt_seed(std::uint64_t base, std::size_t attempt);
+
+/// Exponential backoff with deterministic SplitMix64 jitter for attempt
+/// n >= 1: a PURE function of (policy, attempt, jitter_stream), so a
+/// failover client's backoff schedule is reproducible from its seed —
+/// unlike wall-clock-seeded jitter, a chaos run replays its exact delays.
+std::chrono::milliseconds retry_backoff(const RetryPolicy& retry,
+                                        std::size_t attempt,
+                                        std::uint64_t jitter_stream);
+
 /// Which wire a pool's per-session channels run over.
 enum class TransportKind {
   kInProcess,   ///< simulated duplex queues (net::make_channel)

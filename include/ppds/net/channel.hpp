@@ -12,6 +12,7 @@
 
 #include "ppds/common/bytes.hpp"
 #include "ppds/common/error.hpp"
+#include "ppds/net/control.hpp"
 #include "ppds/net/framing.hpp"
 
 /// \file channel.hpp
@@ -268,10 +269,17 @@ class Endpoint {
   /// Blocks until the peer's next message arrives or \p deadline expires
   /// (default: the deadline installed by set_recv_deadline, else forever).
   /// Throws TimeoutError past the deadline, ProtocolError if the channel is
-  /// closed or the frame fails validation.
+  /// closed or the frame fails validation, and BusyError when the peer shed
+  /// this connection with a control frame (net/control.hpp) — control
+  /// frames are validated for version and checksum only and may arrive at
+  /// ANY protocol point, including mid-handshake.
   Bytes recv(const Deadline& deadline) {
     require_live();
     detail::Frame frame = fetch(deadline);
+    if (frame.header.stage == Stage::kControl) {
+      validate_control(frame);
+      throw BusyError(decode_busy(frame.payload));
+    }
     validate(frame);
     ++recv_seq_;
     if (transcript_enabled_) {
@@ -358,6 +366,23 @@ class Endpoint {
     return splitmix64(acc, frame_checksum(FrameHeader{}, payload));
   }
 
+  /// Control frames bypass the session discipline (they may arrive at any
+  /// protocol point, and their sender closes right after), but corruption
+  /// must still fail loudly: version and checksum are checked exactly as
+  /// for data frames. A control frame consumes NO receive sequence number.
+  void validate_control(const detail::Frame& frame) const {
+    const FrameHeader& h = frame.header;
+    if (h.version != kFrameVersion) {
+      throw ProtocolError("frame version mismatch (expected " +
+                          std::to_string(kFrameVersion) + ", got " +
+                          std::to_string(h.version) + ")");
+    }
+    if (h.checksum != frame_checksum(h, frame.payload)) {
+      throw ProtocolError(
+          "control frame checksum mismatch: corrupted or truncated");
+    }
+  }
+
   void validate(const detail::Frame& frame) const {
     const FrameHeader& h = frame.header;
     if (h.version != kFrameVersion) {
@@ -416,6 +441,22 @@ inline std::pair<Endpoint, Endpoint> make_channel(LatencyModel latency = {}) {
   ChannelOptions options;
   options.latency = latency;
   return make_channel(options);
+}
+
+/// Sends one busy control frame on \p channel (stamped at Stage::kControl
+/// so the peer's recv surfaces it as BusyError wherever it is waiting) and
+/// restores the endpoint's previous stage. The caller closes the channel
+/// right after — a busy frame is a goodbye, not a conversation.
+inline void send_busy(Endpoint& channel, const BusyFrame& busy) {
+  const Stage before = channel.stage();
+  channel.set_stage(Stage::kControl);
+  try {
+    channel.send(encode_busy(busy));
+  } catch (...) {
+    channel.set_stage(before);
+    throw;
+  }
+  channel.set_stage(before);
 }
 
 }  // namespace ppds::net

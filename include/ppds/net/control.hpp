@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ppds/common/bytes.hpp"
+#include "ppds/common/error.hpp"
+
+/// \file control.hpp
+/// Out-of-band control frames (docs/PROTOCOL.md §8.4).
+///
+/// A data frame belongs to a session: its stage, sequence number and
+/// session id are validated against the receiving endpoint's state, so it
+/// can only be understood by the peer that is IN that session. Overload
+/// shedding needs the opposite: the daemon must be able to answer a
+/// connection it will never serve — before any handshake, possibly while
+/// the client is already mid-hello — with a message the client can decode
+/// structurally. Control frames travel at Stage::kControl and sit outside
+/// the seq/stage/session discipline entirely: Endpoint::recv validates
+/// only version and checksum, then surfaces the decoded message as a typed
+/// exception instead of desynchronizing the session state machines.
+///
+/// The only control message today is BUSY: "this daemon is shedding your
+/// connection; here is why, and here is how long to back off before trying
+/// me again". A busy frame is terminal — the sender closes right after it —
+/// so skipping the sequence number cannot open a replay hole: the
+/// connection it arrives on is already dead.
+
+namespace ppds::net {
+
+/// Why a daemon shed the connection (carried inside a busy frame).
+enum class BusyReason : std::uint8_t {
+  kOverCap = 1,      ///< at DaemonOptions::max_connections; slots may free up
+  kRateLimited = 2,  ///< accept token bucket empty; retry after the refill
+  kDraining = 3,     ///< SIGTERM drain: this daemon is going away, fail over
+};
+
+inline const char* busy_reason_name(BusyReason reason) {
+  switch (reason) {
+    case BusyReason::kOverCap: return "over-cap";
+    case BusyReason::kRateLimited: return "rate-limited";
+    case BusyReason::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+/// Decoded busy control message. retry_after_ms is the daemon's backoff
+/// suggestion; 0 means "do not retry this daemon, fail over" (the drain
+/// case — the daemon will be gone).
+struct BusyFrame {
+  BusyReason reason = BusyReason::kOverCap;
+  std::uint32_t retry_after_ms = 0;
+};
+
+/// Leading payload byte distinguishing control message kinds; only busy
+/// exists today, but probes/redirects would claim their own tags.
+inline constexpr std::uint8_t kBusyTag = 0xB5;
+
+/// Wire form of a busy payload: u8 tag | u8 reason | u32 retry_after_ms.
+inline Bytes encode_busy(const BusyFrame& busy) {
+  ByteWriter w;
+  w.u8(kBusyTag);
+  w.u8(static_cast<std::uint8_t>(busy.reason));
+  w.u32(busy.retry_after_ms);
+  return w.take();
+}
+
+/// Decodes a control payload; throws SerializationError on anything that
+/// is not a well-formed busy message (a corrupted control frame must fail
+/// as loudly as a corrupted data frame).
+inline BusyFrame decode_busy(const Bytes& payload) {
+  if (payload.size() != 6 || payload[0] != kBusyTag) {
+    throw SerializationError(
+        "control frame: expected a 6-byte busy payload (tag 0xB5), got " +
+        std::to_string(payload.size()) + " bytes");
+  }
+  BusyFrame busy;
+  busy.reason = static_cast<BusyReason>(payload[1]);
+  if (busy.reason != BusyReason::kOverCap &&
+      busy.reason != BusyReason::kRateLimited &&
+      busy.reason != BusyReason::kDraining) {
+    throw SerializationError("control frame: unknown busy reason " +
+                             std::to_string(payload[1]));
+  }
+  busy.retry_after_ms = static_cast<std::uint32_t>(payload[2]) |
+                        static_cast<std::uint32_t>(payload[3]) << 8 |
+                        static_cast<std::uint32_t>(payload[4]) << 16 |
+                        static_cast<std::uint32_t>(payload[5]) << 24;
+  return busy;
+}
+
+/// The peer shed this connection with a structured busy frame. Derives from
+/// ProtocolError so every existing abort/retry path treats it as a failed
+/// session; overload-aware callers (DaemonSet) catch it FIRST and honor the
+/// reason and retry-after hint instead of blind backoff.
+class BusyError : public ProtocolError {
+ public:
+  explicit BusyError(const BusyFrame& busy)
+      : ProtocolError(std::string("peer busy (") +
+                      busy_reason_name(busy.reason) + "): retry after " +
+                      std::to_string(busy.retry_after_ms) + " ms"),
+        busy_(busy) {}
+
+  const BusyFrame& busy() const { return busy_; }
+  BusyReason reason() const { return busy_.reason; }
+  std::uint32_t retry_after_ms() const { return busy_.retry_after_ms; }
+
+ private:
+  BusyFrame busy_;
+};
+
+}  // namespace ppds::net

@@ -37,6 +37,11 @@ enum class Stage : std::uint8_t {
   kNorms = 3,        ///< similarity step 0: Bob's vector moduli
   kOmpeRequest = 4,  ///< the receiver's disguised (node, z) bundle
   kOtTransfer = 5,   ///< the m-out-of-M OT of masked evaluations
+  /// Out-of-band control frames (net/control.hpp): validated for version
+  /// and checksum only, NEVER against the session's seq/stage/session-id
+  /// state — a daemon shedding load answers connections it will not serve,
+  /// at whatever protocol point the client happens to be waiting.
+  kControl = 6,
 };
 
 /// Human-readable stage name for ProtocolError diagnostics.
@@ -48,6 +53,7 @@ inline const char* stage_name(Stage stage) {
     case Stage::kNorms: return "norms";
     case Stage::kOmpeRequest: return "ompe-request";
     case Stage::kOtTransfer: return "ot-transfer";
+    case Stage::kControl: return "control";
   }
   return "unknown";
 }

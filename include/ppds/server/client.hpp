@@ -4,6 +4,7 @@
 
 #include "ppds/net/channel.hpp"
 #include "ppds/server/scenario.hpp"
+#include "ppds/server/stats.hpp"
 
 /// \file client.hpp
 /// Client side of the ppdsd connection protocol (docs/PROTOCOL.md §8.3).
@@ -33,6 +34,12 @@ std::vector<int> client_classify(
 /// and the daemon's server model (smaller = more similar).
 double client_similarity(net::Endpoint& channel, const Scenario& scenario,
                          Rng& rng);
+
+/// Health probe: returns the daemon's counter snapshot (active sessions,
+/// queue depths, shed counts). Answered even while the daemon drains, so a
+/// probe can watch a shutdown progress; the connection stays alive for
+/// further sessions.
+DaemonStatsSnapshot client_health(net::Endpoint& channel);
 
 /// Ends the connection cleanly.
 void client_goodbye(net::Endpoint& channel);

@@ -13,8 +13,10 @@
 #include "ppds/core/classification.hpp"
 #include "ppds/core/similarity.hpp"
 #include "ppds/crypto/reservoir.hpp"
+#include "ppds/net/control.hpp"
 #include "ppds/net/socket.hpp"
 #include "ppds/server/scenario.hpp"
+#include "ppds/server/stats.hpp"
 
 /// \file daemon.hpp
 /// ppdsd: the real-socket protocol daemon.
@@ -49,6 +51,17 @@
 /// reservoir's refill thread, which is stopped AFTER the session workers so
 /// no in-flight session loses its background expander mid-drain.
 ///
+/// Overload protection: admission control happens AT THE ACCEPT, before a
+/// connection costs anything but a pollfd. A connection past
+/// max_connections, past the accept-rate token bucket, or arriving during
+/// a drain is answered with a structured busy frame (net/control.hpp) —
+/// reason code plus a retry-after hint — and closed, so shedding is
+/// explicit protocol a failover client can act on, never a silent RST.
+/// Every shed is counted (connections_rejected, by reason), the ready
+/// queue is bounded (max_ready), and a one-byte kHealth service select
+/// returns the full DaemonStatsSnapshot so probes can watch queue depth
+/// and shed rates from outside the process.
+///
 /// Silent scenarios (SchemeConfig::silent_precompute) give each connection a
 /// PERSISTENT OtBundle: the one-time base-OT seed agreement runs on the
 /// connection's first classification session, and every later session on
@@ -79,17 +92,89 @@ struct DaemonOptions {
   /// transcripts bit-identical to the in-process path.
   std::uint64_t rng_seed = 0x9d5d;
   net::SocketOptions socket;  ///< applied to every accepted connection
+  /// Admission cap: accepts past this many LIVE connections (admitted and
+  /// not yet retired) are shed with busy(over-cap). 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Accept-rate token bucket: sustained accepts per second (0 = no rate
+  /// limit). Accepts past the bucket are shed with busy(rate-limited).
+  double accept_rate_per_sec = 0.0;
+  /// Token-bucket capacity: how large an accept burst is admitted before
+  /// the rate limit bites.
+  double accept_burst = 8.0;
+  /// Retry-after hint carried in busy(over-cap) frames — how long a polite
+  /// client should back off before knocking again.
+  std::chrono::milliseconds busy_retry_after{50};
+  /// Drain phase of stop(): how long to wait for live connections to
+  /// finish (or say goodbye) while sheds answer busy(draining), before the
+  /// hard teardown. Connections still live when the grace expires are
+  /// counted as reaped.
+  std::chrono::milliseconds drain_grace{250};
+  /// Bound on the ready queue: the poller promotes at most this many
+  /// connections ahead of the workers; the rest stay parked (still
+  /// readable, promoted next slice). 0 = unbounded.
+  std::size_t max_ready = 0;
 };
 
 /// Monotone counters, readable while the daemon runs (and after stop()).
+/// The atomics make this struct non-copyable; snapshot() is the plain-value
+/// view (and what the kHealth service serializes). Books invariant, held
+/// whenever the daemon is drained: every accepted connection retires into
+/// exactly one of closed / reaped / failed / rejected.
 struct DaemonStats {
   std::atomic<std::uint64_t> connections_accepted{0};
   std::atomic<std::uint64_t> connections_closed{0};  ///< clean goodbyes/EOFs
   std::atomic<std::uint64_t> connections_reaped{0};  ///< idle-timeout kills
+  std::atomic<std::uint64_t> connections_failed{0};  ///< failed-session kills
+  /// Shed at the accept with a busy frame, before admission (split out by
+  /// reason below).
+  std::atomic<std::uint64_t> connections_rejected{0};
+  std::atomic<std::uint64_t> rejected_over_cap{0};
+  std::atomic<std::uint64_t> rejected_rate_limited{0};
+  std::atomic<std::uint64_t> rejected_draining{0};
   std::atomic<std::uint64_t> sessions_ok{0};
   std::atomic<std::uint64_t> sessions_failed{0};  ///< aborted mid-protocol
+  /// Admitted connections whose service select was answered busy(draining)
+  /// instead of a session (counted under connections_closed for the books).
+  std::atomic<std::uint64_t> sessions_shed{0};
+  std::atomic<std::uint64_t> health_probes{0};
   std::atomic<std::uint64_t> active_sessions{0};  ///< gauge, not monotone
+  /// Gauge: admitted and not yet retired (parked + ready + in a worker).
+  std::atomic<std::uint64_t> live_connections{0};
+  std::atomic<std::uint64_t> parked_depth{0};  ///< gauge
+  std::atomic<std::uint64_t> ready_depth{0};   ///< gauge
+  std::atomic<std::uint64_t> parked_peak{0};   ///< high-water mark
+  std::atomic<std::uint64_t> ready_peak{0};    ///< high-water mark
+
+  DaemonStatsSnapshot snapshot() const {
+    DaemonStatsSnapshot s;
+    s.connections_accepted = connections_accepted.load();
+    s.connections_closed = connections_closed.load();
+    s.connections_reaped = connections_reaped.load();
+    s.connections_failed = connections_failed.load();
+    s.connections_rejected = connections_rejected.load();
+    s.rejected_over_cap = rejected_over_cap.load();
+    s.rejected_rate_limited = rejected_rate_limited.load();
+    s.rejected_draining = rejected_draining.load();
+    s.sessions_ok = sessions_ok.load();
+    s.sessions_failed = sessions_failed.load();
+    s.sessions_shed = sessions_shed.load();
+    s.health_probes = health_probes.load();
+    s.active_sessions = active_sessions.load();
+    s.live_connections = live_connections.load();
+    s.parked_depth = parked_depth.load();
+    s.ready_depth = ready_depth.load();
+    s.parked_peak = parked_peak.load();
+    s.ready_peak = ready_peak.load();
+    return s;
+  }
 };
+
+/// True when \p fd has bytes (or an EOF) waiting to be read RIGHT NOW — a
+/// zero-timeout POLLIN poll. The idle reaper calls this before killing a
+/// connection that crossed idle_timeout: bytes that arrived after poll(2)
+/// returned but before the reap sweep mean the client spoke just in time,
+/// so the connection is served, not reaped.
+bool has_pending_input(int fd);
 
 class Daemon {
  public:
@@ -102,8 +187,16 @@ class Daemon {
   Daemon& operator=(const Daemon&) = delete;
 
   void start();
-  /// Graceful drain; idempotent, returns once every thread is joined.
+  /// Graceful two-phase drain; idempotent, returns once every thread is
+  /// joined. Phase 1 (up to options.drain_grace): new accepts and parked
+  /// service selects are shed with busy(draining) while in-flight sessions
+  /// finish and goodbyes/health probes are still served. Phase 2 tears the
+  /// rest down; connections still live are counted as reaped so the books
+  /// balance.
   void stop();
+
+  /// True once stop() has begun shedding (the SIGTERM drain window).
+  bool draining() const { return draining_.load(); }
 
   /// The bound address with any ephemeral port resolved — what clients
   /// connect to.
@@ -136,6 +229,13 @@ class Daemon {
   bool run_one_session(Connection& conn);
   void park(std::unique_ptr<Connection> conn);
   void wake_poller();
+  /// Sheds a just-accepted connection with a structured busy frame
+  /// (counted under connections_rejected + the per-reason counter).
+  void reject(net::SocketEndpoint& channel, net::BusyReason reason,
+              std::uint32_t retry_after_ms);
+  /// Refreshes the depth gauges and their high-water marks; call under mu_
+  /// after any queue change.
+  void note_queue_depths();
 
   Scenario scenario_;
   DaemonOptions options_;
@@ -149,6 +249,7 @@ class Daemon {
   std::unique_ptr<crypto::PadReservoir> reservoir_;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> next_connection_id_{0};
 
   std::mutex mu_;

@@ -90,6 +90,10 @@ enum class Service : std::uint8_t {
   kGoodbye = 0,
   kClassification = 1,
   kSimilarity = 2,
+  /// Health probe: the daemon answers with a DaemonStatsSnapshot frame
+  /// (server/stats.hpp) and keeps the connection alive. Served even while
+  /// draining, so probes can watch a shutdown progress.
+  kHealth = 3,
 };
 
 const char* service_name(Service service);

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ppds/common/bytes.hpp"
+#include "ppds/common/error.hpp"
+
+/// \file stats.hpp
+/// Copyable daemon statistics snapshot and its wire form.
+///
+/// DaemonStats (daemon.hpp) is a bundle of atomics — correct for lock-free
+/// counting, but non-copyable, so it cannot be returned from a function,
+/// stored in a report, or serialized to a health probe. This snapshot is
+/// the plain-value view: DaemonStats::snapshot() reads every counter once
+/// (each load is atomic; the snapshot as a whole is a consistent-enough
+/// monitoring view, not a transaction) and the kHealth service ships it to
+/// clients as a fixed-layout frame, so a probe can see queue depth and shed
+/// counts without attaching a debugger to the daemon.
+
+namespace ppds::server {
+
+/// Plain-value copy of every daemon counter and gauge. Monotone counters
+/// unless marked as a gauge.
+struct DaemonStatsSnapshot {
+  std::uint64_t connections_accepted = 0;  ///< every successful ::accept
+  std::uint64_t connections_closed = 0;    ///< clean goodbyes/EOFs
+  std::uint64_t connections_reaped = 0;    ///< idle-timeout kills
+  std::uint64_t connections_failed = 0;    ///< closed by a failed session
+  std::uint64_t connections_rejected = 0;  ///< shed at accept with kBusy
+  std::uint64_t rejected_over_cap = 0;     ///< ... because max_connections
+  std::uint64_t rejected_rate_limited = 0; ///< ... because token bucket
+  std::uint64_t rejected_draining = 0;     ///< ... because SIGTERM drain
+  std::uint64_t sessions_ok = 0;
+  std::uint64_t sessions_failed = 0;  ///< aborted mid-protocol
+  std::uint64_t sessions_shed = 0;    ///< busy(draining) instead of serving
+  std::uint64_t health_probes = 0;    ///< kHealth services answered
+  std::uint64_t active_sessions = 0;  ///< gauge
+  std::uint64_t live_connections = 0; ///< gauge: admitted and not yet retired
+  std::uint64_t parked_depth = 0;     ///< gauge
+  std::uint64_t ready_depth = 0;      ///< gauge
+  std::uint64_t parked_peak = 0;      ///< high-water mark of parked_depth
+  std::uint64_t ready_peak = 0;       ///< high-water mark of ready_depth
+
+  /// Every accepted connection must end in exactly one bucket; true once
+  /// the daemon has drained (gauges at zero).
+  bool books_balance() const {
+    return connections_accepted == connections_closed + connections_reaped +
+                                       connections_failed +
+                                       connections_rejected;
+  }
+};
+
+/// Field count of the kHealth wire form (u64 each, little-endian, in
+/// declaration order).
+inline constexpr std::size_t kStatsSnapshotFields = 18;
+
+inline Bytes encode_stats(const DaemonStatsSnapshot& s) {
+  ByteWriter w;
+  w.u64(s.connections_accepted);
+  w.u64(s.connections_closed);
+  w.u64(s.connections_reaped);
+  w.u64(s.connections_failed);
+  w.u64(s.connections_rejected);
+  w.u64(s.rejected_over_cap);
+  w.u64(s.rejected_rate_limited);
+  w.u64(s.rejected_draining);
+  w.u64(s.sessions_ok);
+  w.u64(s.sessions_failed);
+  w.u64(s.sessions_shed);
+  w.u64(s.health_probes);
+  w.u64(s.active_sessions);
+  w.u64(s.live_connections);
+  w.u64(s.parked_depth);
+  w.u64(s.ready_depth);
+  w.u64(s.parked_peak);
+  w.u64(s.ready_peak);
+  return w.take();
+}
+
+inline DaemonStatsSnapshot decode_stats(const Bytes& payload) {
+  if (payload.size() != kStatsSnapshotFields * 8) {
+    throw SerializationError(
+        "health reply: expected " +
+        std::to_string(kStatsSnapshotFields * 8) + " bytes, got " +
+        std::to_string(payload.size()));
+  }
+  ByteReader r(payload);
+  DaemonStatsSnapshot s;
+  s.connections_accepted = r.u64();
+  s.connections_closed = r.u64();
+  s.connections_reaped = r.u64();
+  s.connections_failed = r.u64();
+  s.connections_rejected = r.u64();
+  s.rejected_over_cap = r.u64();
+  s.rejected_rate_limited = r.u64();
+  s.rejected_draining = r.u64();
+  s.sessions_ok = r.u64();
+  s.sessions_failed = r.u64();
+  s.sessions_shed = r.u64();
+  s.health_probes = r.u64();
+  s.active_sessions = r.u64();
+  s.live_connections = r.u64();
+  s.parked_depth = r.u64();
+  s.ready_depth = r.u64();
+  s.parked_peak = r.u64();
+  s.ready_peak = r.u64();
+  return s;
+}
+
+}  // namespace ppds::server

@@ -19,18 +19,11 @@ std::uint64_t chunk_seed(std::uint64_t seed, std::uint64_t stream) {
   return splitmix64(seed, stream);
 }
 
-namespace {
-
-/// Per-attempt RNG seed: attempt 0 uses the base chunk seed EXACTLY (so a
-/// fault-free run is bit-identical to the pre-retry-layer behavior, which
-/// the determinism tests pin); later attempts derive fresh decorrelated
-/// streams — a retried session re-randomizes everything.
-std::uint64_t attempt_seed(std::uint64_t base, std::size_t attempt) {
+std::uint64_t retry_attempt_seed(std::uint64_t base, std::size_t attempt) {
   return attempt == 0 ? base : splitmix64(base, attempt);
 }
 
-/// Exponential backoff with deterministic jitter for attempt n >= 1.
-std::chrono::milliseconds backoff_delay(const RetryPolicy& retry,
+std::chrono::milliseconds retry_backoff(const RetryPolicy& retry,
                                         std::size_t attempt,
                                         std::uint64_t jitter_stream) {
   if (retry.backoff.count() <= 0) return std::chrono::milliseconds{0};
@@ -45,6 +38,18 @@ std::chrono::milliseconds backoff_delay(const RetryPolicy& retry,
   }
   return std::chrono::milliseconds{
       static_cast<std::chrono::milliseconds::rep>(std::fmax(0.0, ms))};
+}
+
+namespace {
+
+std::uint64_t attempt_seed(std::uint64_t base, std::size_t attempt) {
+  return retry_attempt_seed(base, attempt);
+}
+
+std::chrono::milliseconds backoff_delay(const RetryPolicy& retry,
+                                        std::size_t attempt,
+                                        std::uint64_t jitter_stream) {
+  return retry_backoff(retry, attempt, jitter_stream);
 }
 
 /// Runs \p body(attempt) under the retry policy: ProtocolError (timeouts,

@@ -45,6 +45,13 @@ double client_similarity(net::Endpoint& channel, const Scenario& scenario,
   return t;
 }
 
+DaemonStatsSnapshot client_health(net::Endpoint& channel) {
+  select_service(channel, Service::kHealth);
+  // The reply is an ordinary data frame at stage kNone / session 0 — the
+  // connection's seq discipline continues, no reset needed.
+  return decode_stats(channel.recv());
+}
+
 void client_goodbye(net::Endpoint& channel) {
   select_service(channel, Service::kGoodbye);
   channel.close();

@@ -142,6 +142,7 @@ const char* service_name(Service service) {
     case Service::kGoodbye: return "goodbye";
     case Service::kClassification: return "classification";
     case Service::kSimilarity: return "similarity";
+    case Service::kHealth: return "health";
   }
   return "unknown";
 }
